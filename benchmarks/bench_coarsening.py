@@ -1,0 +1,44 @@
+"""Experiment E8: Section 5.1 bunching accuracy and runtime.
+
+Sweeps the bunch size from coarse to fine, printing rank, the paper's
+a-priori error bound and runtime per point, and asserts the bound holds
+pairwise between all runs.
+"""
+
+from repro.analysis.coarsening import coarsening_study, max_pairwise_deviation
+from repro.reporting.text import format_table
+
+from .conftest import run_once
+
+BUNCH_SIZES = [50_000, 20_000, 10_000, 5_000, 2_000]
+
+
+def test_bunching_accuracy_runtime(benchmark, bench_baseline):
+    points = run_once(
+        benchmark,
+        lambda: coarsening_study(bench_baseline, bunch_sizes=BUNCH_SIZES),
+    )
+    rows = [
+        (
+            p.bunch_size,
+            p.result.rank,
+            f"{p.result.normalized:.6f}",
+            p.error_bound,
+            f"{p.runtime_seconds * 1e3:.0f} ms",
+        )
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ("bunch size", "rank", "normalized", "error bound", "solver time"),
+            rows,
+            title="E8: bunching trade-off (paper bunch size: 10000)",
+        )
+    )
+    ranks = [p.result.rank for p in points]
+    bounds = [p.error_bound for p in points]
+    for i in range(len(points)):
+        for j in range(i + 1, len(points)):
+            assert abs(ranks[i] - ranks[j]) <= bounds[i] + bounds[j]
+    print(f"max pairwise deviation: {max_pairwise_deviation(points):,} wires")

@@ -1,0 +1,39 @@
+"""Experiment E17: geometric-parameter impact on rank.
+
+The paper's introduction: "We use our new IA metric to quantitatively
+compare impacts of geometric parameters as well as process and material
+technology advances."  This benchmark sweeps uniform scaling of the
+semi-global and global tiers around the baseline and prints the rank
+response, quantifying the fat-wire trade-off through the metric.
+"""
+
+from repro.analysis.sweep import sweep_tier_geometry
+from repro.reporting.tables import format_sweep_table
+
+from .conftest import BENCH_OPTIONS, run_once
+
+SCALES = (0.75, 1.0, 1.25, 1.5, 2.0)
+
+
+def test_geometry_semi_global(benchmark, bench_baseline):
+    sweep = run_once(
+        benchmark,
+        lambda: sweep_tier_geometry(
+            bench_baseline, tier="semi_global", values=SCALES, **BENCH_OPTIONS
+        ),
+    )
+    print()
+    print(format_sweep_table(sweep, title="E17: semi-global tier scaling"))
+    assert all(p.result.fits for p in sweep.points)
+
+
+def test_geometry_global(benchmark, bench_baseline):
+    sweep = run_once(
+        benchmark,
+        lambda: sweep_tier_geometry(
+            bench_baseline, tier="global", values=SCALES, **BENCH_OPTIONS
+        ),
+    )
+    print()
+    print(format_sweep_table(sweep, title="E17b: global tier scaling"))
+    assert all(p.result.fits for p in sweep.points)

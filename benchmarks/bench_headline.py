@@ -1,0 +1,35 @@
+"""Experiment E5: the abstract's Miller-vs-permittivity equivalence.
+
+Sweeps K and M from the baseline, inverts both sweeps at common rank
+levels and prints the equivalent reductions.  The paper pairs k = 2.4
+(-38%) with M = 1.15 (-42.5%) as "the same rank improvement"; on its
+own Table 4 data precise interpolation gives a ~1:1 reduction ratio,
+and the reproduction must land in the same band.
+"""
+
+from repro.analysis.sensitivity import miller_permittivity_equivalence
+from repro.analysis.sweep import sweep_miller, sweep_permittivity
+from repro.reporting.tables import format_equivalence_table
+
+from .conftest import BENCH_OPTIONS, run_once
+
+
+def test_headline_equivalence(benchmark, bench_baseline):
+    def run():
+        k_sweep = sweep_permittivity(bench_baseline, **BENCH_OPTIONS)
+        m_sweep = sweep_miller(bench_baseline, **BENCH_OPTIONS)
+        return k_sweep, m_sweep
+
+    k_sweep, m_sweep = run_once(benchmark, run)
+    points = miller_permittivity_equivalence(k_sweep, m_sweep, num_levels=8)
+    print()
+    print(
+        format_equivalence_table(
+            points,
+            title="E5: equivalent K vs M reductions (paper: 38% K ~ 42.5% M)",
+        )
+    )
+    ratios = [p.ratio for p in points if p.ratio is not None]
+    assert ratios, "sweeps must overlap at some rank level"
+    for ratio in ratios:
+        assert 0.5 < ratio < 2.0

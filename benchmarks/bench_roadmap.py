@@ -1,0 +1,46 @@
+"""Experiment E18: the Section 6 closing claim, quantified.
+
+"It is not possible to enable future MPU-class designs by material
+improvements alone."  Two roadmaps for a design doubling per
+generation: stay on 180 nm spending all material headroom (low-k +
+full shielding) vs move down the node ladder at plain oxide.  The
+materials-only trajectory must decay and be overtaken.
+"""
+
+from repro.analysis.roadmap import materials_shortfall, roadmap_study
+from repro.reporting.text import format_table
+
+from .conftest import BENCH_GATES, run_once
+
+
+def test_materials_alone_cannot_scale(benchmark):
+    base = max(50_000, BENCH_GATES // 4)
+    materials_only, full_scaling = run_once(
+        benchmark,
+        lambda: roadmap_study(base, bunch_size=10_000, repeater_units=512),
+    )
+    rows = []
+    for frozen, scaled in zip(materials_only, full_scaling):
+        rows.append(
+            (
+                f"gen {frozen.generation} ({frozen.gate_count:,} gates)",
+                f"{frozen.node_name} best-materials: {frozen.result.normalized:.4f}",
+                f"{scaled.node_name} baseline: {scaled.result.normalized:.4f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("generation", "materials-only roadmap", "node-scaling roadmap"),
+            rows,
+            title="E18: materials-only vs node scaling",
+        )
+    )
+    shortfall = materials_shortfall(materials_only, full_scaling)
+    print(f"final-generation shortfall of materials-only: {shortfall:+.4f}")
+    # one-shot boost at gen 0 ...
+    assert (
+        materials_only[0].result.normalized > full_scaling[0].result.normalized
+    )
+    # ... but overtaken by the last generation (the paper's claim)
+    assert shortfall > 0

@@ -1,0 +1,86 @@
+"""Experiment E9: rank computation runtime scaling.
+
+The paper reports "no rank computation has runtime greater than 200s"
+on a 2003-era Xeon.  This benchmark measures the DP solver's scaling
+against the instance knobs that drive its complexity: design size (the
+paper's O(n^4) dimension, tamed by bunching), the number of layer-pairs
+``m``, and the budget discretization ``A_R`` cells.
+"""
+
+import time
+
+from repro import ArchitectureSpec, build_architecture, compute_rank
+from repro.core.scenarios import baseline_problem
+from repro.reporting.text import format_table
+
+from .conftest import BENCH_GATES, BENCH_OPTIONS, run_once
+
+
+def test_runtime_vs_design_size(benchmark):
+    """Wall clock per rank computation as the design grows."""
+    sizes = [50_000, 200_000, 500_000, 1_000_000]
+
+    def run():
+        rows = []
+        for gates in sizes:
+            problem = baseline_problem("130nm", gates)
+            start = time.perf_counter()
+            result = compute_rank(problem, **BENCH_OPTIONS)
+            elapsed = time.perf_counter() - start
+            rows.append((f"{gates:,}", result.rank, f"{elapsed * 1e3:.0f} ms"))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ("gates", "rank", "runtime"),
+            rows,
+            title="E9: rank runtime vs design size (paper bound: 200 s)",
+        )
+    )
+
+
+def test_runtime_vs_layer_pairs(benchmark):
+    """The DP is linear in m (one stage per layer-pair)."""
+    base = baseline_problem("130nm", min(BENCH_GATES, 400_000))
+
+    def run():
+        rows = []
+        for semi_global in (1, 2, 4, 6):
+            spec = ArchitectureSpec(
+                node=base.die.node, semi_global_pairs=semi_global
+            )
+            problem = base.with_arch(build_architecture(spec))
+            start = time.perf_counter()
+            result = compute_rank(problem, **BENCH_OPTIONS)
+            elapsed = time.perf_counter() - start
+            rows.append(
+                (2 + semi_global + 1, result.rank, f"{elapsed * 1e3:.0f} ms")
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(("layer-pairs", "rank", "runtime"), rows, title="E9b"))
+
+
+def test_runtime_vs_budget_cells(benchmark):
+    """Budget discretization drives state count (the paper's A_R^3)."""
+    base = baseline_problem("130nm", min(BENCH_GATES, 400_000))
+
+    def run():
+        rows = []
+        for units in (64, 256, 1024):
+            start = time.perf_counter()
+            result = compute_rank(base, bunch_size=10_000, repeater_units=units)
+            elapsed = time.perf_counter() - start
+            rows.append((units, result.rank, f"{elapsed * 1e3:.0f} ms"))
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_table(("budget cells", "rank", "runtime"), rows, title="E9c"))
+    # finer cells never lower the rank (conservative rounding shrinks)
+    ranks = [row[1] for row in rows]
+    assert ranks == sorted(ranks)

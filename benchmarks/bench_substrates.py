@@ -1,0 +1,43 @@
+"""Substrate micro-benchmarks: WLD generation and table construction.
+
+Not a paper table — these track the cost of the two precomputation
+stages every experiment pays: generating the Davis WLD and building the
+per-(pair, group) assignment tables.  Regressions here multiply into
+every sweep.
+"""
+
+from repro.assign.tables import build_tables
+from repro.core.scenarios import baseline_problem
+from repro.wld.davis import DavisParameters, davis_wld
+
+from .conftest import BENCH_GATES
+
+
+def test_davis_generation(benchmark):
+    params = DavisParameters(gate_count=BENCH_GATES)
+    wld = benchmark(davis_wld, params)
+    assert wld.total_wires > 0
+
+
+def test_table_construction(benchmark, bench_baseline):
+    coarse, _ = bench_baseline.coarsened_wld(bunch_size=10_000)
+    target = bench_baseline.target_model()
+
+    def run():
+        return build_tables(
+            bench_baseline.arch, bench_baseline.die, coarse, target
+        )
+
+    tables = benchmark(run)
+    assert tables.num_groups == coarse.num_groups
+
+
+def test_single_rank_computation(benchmark, bench_baseline):
+    """One full rank computation at paper scale — the paper's headline
+    runtime unit ('no rank computation greater than 200s')."""
+    from repro import compute_rank
+
+    result = benchmark(
+        compute_rank, bench_baseline, bunch_size=10_000, repeater_units=512
+    )
+    assert result.fits

@@ -1,0 +1,84 @@
+"""Experiments E1-E4: regenerate the paper's Table 4, column by column.
+
+Each benchmark sweeps one knob of the 130 nm baseline and prints the
+reproduced normalized ranks next to the paper's column.  Absolute
+values need not match (device constants are reconstructed); the checked
+*shapes* are the paper's:
+
+* K column: rank increases monotonically as permittivity drops, by
+  tens of percent over 3.9 -> 1.8 (paper: +45%),
+* M column: likewise for the Miller factor over 2.0 -> 1.0 (paper: +39%),
+* C column: rank non-increasing in clock frequency with plateau
+  structure where whole length classes become infeasible (the paper's
+  plateaus 0.3097 / 0.2356 are Davis CDF values our WLD reproduces),
+* R column: rank grows steadily with the repeater budget (paper:
+  linear, x4.2 from R=0.1 to R=0.5).
+"""
+
+import pytest
+
+from repro.analysis.sweep import (
+    sweep_clock,
+    sweep_miller,
+    sweep_permittivity,
+    sweep_repeater_fraction,
+)
+from repro.reporting.tables import format_sweep_table
+
+from .conftest import BENCH_OPTIONS, run_once
+
+
+def test_table4_k(benchmark, bench_baseline):
+    """E1: Table 4 column K — rank vs ILD permittivity."""
+    sweep = run_once(
+        benchmark, lambda: sweep_permittivity(bench_baseline, **BENCH_OPTIONS)
+    )
+    print()
+    print(format_sweep_table(sweep))
+    assert sweep.is_monotone()
+    assert 0.15 < sweep.improvement() < 0.9  # paper: +45%
+
+
+def test_table4_m(benchmark, bench_baseline):
+    """E2: Table 4 column M — rank vs Miller coupling factor."""
+    sweep = run_once(
+        benchmark, lambda: sweep_miller(bench_baseline, **BENCH_OPTIONS)
+    )
+    print()
+    print(format_sweep_table(sweep))
+    assert sweep.is_monotone()
+    assert 0.1 < sweep.improvement() < 0.8  # paper: +39%
+
+
+def test_table4_c(benchmark, bench_baseline):
+    """E3: Table 4 column C — rank vs target clock frequency."""
+    sweep = run_once(
+        benchmark, lambda: sweep_clock(bench_baseline, **BENCH_OPTIONS)
+    )
+    print()
+    print(format_sweep_table(sweep))
+    assert sweep.is_monotone(non_increasing=True)
+    ranks = sweep.normalized_ranks()
+    values = sweep.values()
+    # plateau structure: consecutive high-frequency points repeat
+    plateau = {
+        f: r for f, r in zip(values, ranks) if 1.1e9 <= f <= 1.5e9
+    }
+    assert max(plateau.values()) - min(plateau.values()) < 1e-6
+    # the paper's plateaus are Davis length-class shares; at full scale
+    # our WLD reproduces them to ~1e-3
+    if bench_baseline.wld.total_wires > 2_000_000:
+        assert plateau[1.1e9] == pytest.approx(0.309706, abs=2e-3)
+        assert ranks[-1] == pytest.approx(0.235608, abs=2e-3)
+
+
+def test_table4_r(benchmark, bench_baseline):
+    """E4: Table 4 column R — rank vs repeater area fraction."""
+    sweep = run_once(
+        benchmark, lambda: sweep_repeater_fraction(bench_baseline, **BENCH_OPTIONS)
+    )
+    print()
+    print(format_sweep_table(sweep))
+    assert sweep.is_monotone()
+    low, high = sweep.normalized_ranks()[0], sweep.normalized_ranks()[-1]
+    assert high > 2.5 * low  # paper: x4.2

@@ -1,0 +1,39 @@
+"""Experiment E11: target-delay model ablation (paper Section 6).
+
+The paper notes its linear per-connection requirement
+``d_i = (l_i/l_max)/f_c`` is questionable because unrepeatered delay
+grows quadratically with length, and announces study of alternatives.
+This ablation runs the baseline under both the linear model and the
+quadratic alternative ``d_i = (l_i/l_max)^2/f_c``, quantifying how much
+the metric depends on that modelling choice: quadratic targets collapse
+the short-wire bulk's slack and with it the achievable rank.
+"""
+
+from repro import compute_rank
+from repro.reporting.text import format_table
+
+from .conftest import BENCH_OPTIONS, run_once
+
+
+def test_linear_vs_quadratic_targets(benchmark, bench_baseline):
+    def run():
+        linear = compute_rank(bench_baseline, **BENCH_OPTIONS)
+        quadratic = compute_rank(
+            bench_baseline.with_target_kind("quadratic"), **BENCH_OPTIONS
+        )
+        return linear, quadratic
+
+    linear, quadratic = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            ("target model", "rank", "normalized"),
+            [
+                ("linear (paper)", linear.rank, f"{linear.normalized:.6f}"),
+                ("quadratic (Sec. 6)", quadratic.rank, f"{quadratic.normalized:.6f}"),
+            ],
+            title="E11: per-connection target-delay model ablation",
+        )
+    )
+    assert linear.fits and quadratic.fits
+    assert 0 < quadratic.rank < linear.rank

@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one experiment from DESIGN.md's index
+(E1-E11) and prints the paper-shaped rows next to the paper's values.
+
+Scale knob: ``REPRO_BENCH_GATES`` (default 1_000_000 — the paper's
+baseline design; set e.g. 200000 for a quick pass).  Heavy benchmarks
+run exactly one round via ``benchmark.pedantic`` so a full run stays in
+the minutes range.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.scenarios import baseline_problem
+
+#: Gate count used by the table/figure benchmarks.
+BENCH_GATES = int(os.environ.get("REPRO_BENCH_GATES", "1000000"))
+
+#: Coarsening and discretization used everywhere (paper: bunch 10000).
+BENCH_OPTIONS = dict(bunch_size=10_000, repeater_units=512)
+
+
+@pytest.fixture(scope="session")
+def bench_baseline():
+    """The Table 2 baseline problem at benchmark scale."""
+    return baseline_problem("130nm", BENCH_GATES)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

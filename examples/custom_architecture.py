@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Using the rank metric to explore interconnect architectures.
+
+The paper's Section 6 proposes optimizing IAs *against* the rank
+metric.  This example does a first step of that: for a fixed 130 nm
+design it varies the layer-pair allocation (how many semi-global and
+global pairs to build) and the dielectric, and ranks the candidate
+stacks — the workflow a BEOL architect would run.
+
+Run:
+
+    python examples/custom_architecture.py [--gates N]
+"""
+
+import argparse
+
+from repro import ArchitectureSpec, build_architecture, compute_rank
+from repro.core.scenarios import baseline_problem
+from repro.reporting.text import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gates", type=int, default=400_000)
+    args = parser.parse_args()
+
+    baseline = baseline_problem("130nm", args.gates)
+    node = baseline.die.node
+
+    candidates = []
+    for semi_global in (1, 2, 3):
+        for global_pairs in (1, 2):
+            for k in (3.9, 2.8):
+                candidates.append(
+                    ArchitectureSpec(
+                        node=node,
+                        local_pairs=1,
+                        semi_global_pairs=semi_global,
+                        global_pairs=global_pairs,
+                        permittivity=k,
+                    )
+                )
+
+    rows = []
+    for spec in candidates:
+        problem = baseline.with_arch(build_architecture(spec))
+        result = compute_rank(problem, bunch_size=5000, repeater_units=512)
+        rows.append(
+            (
+                f"G{spec.global_pairs}/SG{spec.semi_global_pairs}/L1 k={spec.permittivity}",
+                2 * spec.num_pairs,
+                result.rank,
+                f"{result.normalized:.6f}",
+                "yes" if result.fits else "NO",
+            )
+        )
+
+    rows.sort(key=lambda row: -float(row[3]))
+    print(
+        format_table(
+            ("stack", "metal layers", "rank", "normalized", "fits"),
+            rows,
+            title=f"Candidate 130 nm stacks for a {args.gates:,}-gate design",
+        )
+    )
+    print()
+    print(
+        "Reading: once the WLD fits, extra layer-pairs buy little —\n"
+        "the binding resources are the repeater budget and the short-\n"
+        "wire delay wall, so a low-k dielectric outranks an extra metal\n"
+        "pair.  This is the paper's 'co-optimize across materials,\n"
+        "process and design' conclusion, made quantitative."
+    )
+
+
+if __name__ == "__main__":
+    main()

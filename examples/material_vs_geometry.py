@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""The paper's headline: Miller-factor vs permittivity equivalence.
+
+The abstract observes that a ~42% reduction in Miller coupling factor
+(a *design* improvement: shielding, spacing, skew management) buys the
+same rank improvement as a ~38% reduction in ILD permittivity (a
+*materials* improvement: low-k dielectrics).  This example regenerates
+that comparison: it sweeps both knobs from the 130 nm baseline, inverts
+the sweeps at common rank levels, and prints how much each knob must
+move to reach each level.
+
+Run:
+
+    python examples/material_vs_geometry.py [--gates N]
+"""
+
+import argparse
+
+from repro.analysis.sensitivity import miller_permittivity_equivalence
+from repro.analysis.sweep import sweep_miller, sweep_permittivity
+from repro.core.scenarios import baseline_problem
+from repro.reporting.tables import format_equivalence_table, format_sweep_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gates", type=int, default=1_000_000)
+    parser.add_argument("--bunch", type=int, default=10_000)
+    args = parser.parse_args()
+
+    baseline = baseline_problem("130nm", args.gates)
+    options = dict(bunch_size=args.bunch, repeater_units=512)
+
+    print("Sweeping ILD permittivity (materials knob)...")
+    k_sweep = sweep_permittivity(baseline, **options)
+    print("Sweeping Miller coupling factor (design knob)...")
+    m_sweep = sweep_miller(baseline, **options)
+    print()
+    print(format_sweep_table(k_sweep))
+    print()
+    print(format_sweep_table(m_sweep))
+    print()
+
+    points = miller_permittivity_equivalence(k_sweep, m_sweep, num_levels=8)
+    print(
+        format_equivalence_table(
+            points,
+            knob_a="K",
+            knob_b="M",
+            title="Equivalent reductions reaching the same normalized rank",
+        )
+    )
+    print()
+    print(
+        "Paper datum: k = 2.4 (-38%) gives rank 0.5016 while M = 1.15\n"
+        "(-42.5%) gives 0.5184 — 'the same increase in rank'.  A M/K\n"
+        "ratio near 1.0 in the table above reproduces that conclusion:\n"
+        "shielding buys what low-k buys, so materials alone are not the\n"
+        "only path to high-rank interconnect architectures."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table 4: rank vs K, M, C and R.
+
+Sweeps ILD permittivity, Miller coupling factor, target clock frequency
+and repeater-area fraction around the 130 nm / 1M-gate baseline, and
+prints each column side by side with the paper's reported values.
+
+Run:
+
+    python examples/table4_sweeps.py [--gates N] [--columns KMCR]
+
+The full 1M-gate regeneration of all four columns takes a couple of
+minutes; ``--gates 200000`` reproduces the shapes in seconds.
+"""
+
+import argparse
+import time
+
+from repro.analysis.sweep import (
+    sweep_clock,
+    sweep_miller,
+    sweep_permittivity,
+    sweep_repeater_fraction,
+)
+from repro.core.scenarios import baseline_problem
+from repro.reporting.tables import format_sweep_table
+
+SWEEPS = {
+    "K": sweep_permittivity,
+    "M": sweep_miller,
+    "C": sweep_clock,
+    "R": sweep_repeater_fraction,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gates", type=int, default=1_000_000)
+    parser.add_argument(
+        "--columns",
+        default="KMCR",
+        help="subset of K, M, C, R to regenerate (default: all)",
+    )
+    parser.add_argument("--bunch", type=int, default=10_000)
+    args = parser.parse_args()
+
+    baseline = baseline_problem("130nm", args.gates)
+    for knob in args.columns:
+        if knob not in SWEEPS:
+            raise SystemExit(f"unknown column {knob!r}; choose from K, M, C, R")
+        start = time.perf_counter()
+        sweep = SWEEPS[knob](baseline, bunch_size=args.bunch, repeater_units=512)
+        elapsed = time.perf_counter() - start
+        print(format_sweep_table(sweep))
+        print(
+            f"({len(sweep.points)} points in {elapsed:.1f} s; "
+            f"improvement first->last: {sweep.improvement() * 100:+.1f}%)"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Cross-node study: the same metric across 180 nm, 130 nm and 90 nm.
+
+Evaluates the Table 2 baseline on the paper's three study designs
+(1M gates at 180 nm, 1M at 130 nm, 4M at 90 nm — Section 5.2) plus a
+fixed-size design on all three nodes, showing how the rank metric
+quantifies technology scaling: faster devices and finer wiring raise
+the achievable rank, while growing the design at a fixed node stresses
+the same stack with a longer WLD.
+
+Run:
+
+    python examples/technology_scaling.py [--quick]
+"""
+
+import argparse
+
+from repro.analysis.compare import compare_nodes
+from repro.reporting.tables import format_node_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use 100k-gate designs everywhere (seconds instead of minutes)",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        paper_designs = [("180nm", 100_000), ("130nm", 100_000), ("90nm", 400_000)]
+        fixed_designs = [(n, 100_000) for n in ("180nm", "130nm", "90nm")]
+    else:
+        paper_designs = [
+            ("180nm", 1_000_000),
+            ("130nm", 1_000_000),
+            ("90nm", 4_000_000),
+        ]
+        fixed_designs = [(n, 1_000_000) for n in ("180nm", "130nm", "90nm")]
+
+    print("The paper's Section 5.2 baseline designs:")
+    print(
+        format_node_table(
+            compare_nodes(designs=paper_designs, bunch_size=10_000),
+            title="",
+        )
+    )
+    print()
+    print("Fixed design size across nodes (pure technology effect):")
+    print(
+        format_node_table(
+            compare_nodes(designs=fixed_designs, bunch_size=10_000),
+            title="",
+        )
+    )
+    print()
+    print(
+        "Reading: at a fixed gate count, each node generation lifts the\n"
+        "normalized rank — faster repeater stages loosen the short-wire\n"
+        "delay wall and cheaper (smaller) repeaters stretch the budget.\n"
+        "Growing the design at a fixed node adds long wires faster than\n"
+        "routing resources, which is the pressure the paper's metric is\n"
+        "built to quantify."
+    )
+
+
+if __name__ == "__main__":
+    main()

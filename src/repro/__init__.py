@@ -1,0 +1,118 @@
+"""repro — reproduction of the interconnect-architecture *rank* metric.
+
+Implements Dasgupta, Kahng & Muddu, "A Novel Metric for Interconnect
+Architecture Performance" (DATE 2003) end to end: the Davis stochastic
+wire length distribution, geometry-driven RC extraction, the
+Otten--Brayton repeatered delay model, via-blockage-aware wire
+assignment, and the dynamic program that computes the rank of an
+interconnect architecture — plus the greedy baseline, coarsening
+(bunching / binning), and the analysis harness that regenerates every
+table and figure of the paper.
+
+Quickstart::
+
+    from repro import paper_baseline_130nm, compute_rank
+
+    problem = paper_baseline_130nm()
+    result = compute_rank(problem, bunch_size=10_000)
+    print(result.summary())
+"""
+
+from .arch import (
+    ArchitectureSpec,
+    DieModel,
+    InterconnectArchitecture,
+    LayerPair,
+    build_architecture,
+)
+from .core import (
+    RankProblem,
+    RankResult,
+    baseline_problem,
+    compute_rank,
+    paper_baseline_130nm,
+    solve_rank_dp,
+    solve_rank_exhaustive,
+    solve_rank_greedy,
+    solve_rank_reference,
+)
+from .optimize import DesignSpace, optimize_architecture
+from .power import PowerModel, witness_power
+from .errors import (
+    AssignmentError,
+    ConfigurationError,
+    DelayModelError,
+    RankComputationError,
+    ReproError,
+    UnitsError,
+    WLDError,
+)
+from .tech import (
+    NODE_90NM,
+    NODE_130NM,
+    NODE_180NM,
+    DeviceParameters,
+    MetalRule,
+    TechnologyNode,
+    ViaRule,
+    available_nodes,
+    get_node,
+)
+from .wld import (
+    DavisParameters,
+    WireLengthDistribution,
+    bin_wld,
+    bunch_wld,
+    davis_wld,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # architecture
+    "ArchitectureSpec",
+    "DieModel",
+    "InterconnectArchitecture",
+    "LayerPair",
+    "build_architecture",
+    # core
+    "RankProblem",
+    "RankResult",
+    "compute_rank",
+    "baseline_problem",
+    "paper_baseline_130nm",
+    "solve_rank_dp",
+    "solve_rank_greedy",
+    "solve_rank_reference",
+    "solve_rank_exhaustive",
+    # technology
+    "TechnologyNode",
+    "MetalRule",
+    "ViaRule",
+    "DeviceParameters",
+    "NODE_180NM",
+    "NODE_130NM",
+    "NODE_90NM",
+    "available_nodes",
+    "get_node",
+    # WLD
+    "WireLengthDistribution",
+    "DavisParameters",
+    "davis_wld",
+    "bunch_wld",
+    "bin_wld",
+    # extensions
+    "DesignSpace",
+    "optimize_architecture",
+    "PowerModel",
+    "witness_power",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "UnitsError",
+    "WLDError",
+    "DelayModelError",
+    "AssignmentError",
+    "RankComputationError",
+]

@@ -1,0 +1,85 @@
+"""Cross-node and cross-design baselines (experiment E7).
+
+The paper ran baseline designs of 4M gates at 90 nm, 1M gates at 130 nm
+and 1M gates at 180 nm (Section 5.2) but printed only the 130 nm study.
+:func:`compare_nodes` evaluates the Table 2 baseline on each node /
+design size so trends across technology generations can be inspected:
+newer nodes at fixed gate count should achieve equal-or-better ranks
+(faster devices, more layers), while scaling the design up at a fixed
+node stresses the same architecture with a longer, fatter WLD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.rank import RankResult, compute_rank
+from ..core.scenarios import baseline_problem
+
+#: The paper's baseline (node, gate count) studies from Section 5.2.
+PAPER_BASELINE_DESIGNS: Tuple[Tuple[str, int], ...] = (
+    ("180nm", 1_000_000),
+    ("130nm", 1_000_000),
+    ("90nm", 4_000_000),
+)
+
+
+@dataclass(frozen=True)
+class NodeBaseline:
+    """Baseline rank of one (node, design size) point.
+
+    Attributes
+    ----------
+    node_name:
+        Technology node, e.g. ``"130nm"``.
+    gate_count:
+        Design size in gates.
+    result:
+        The rank result at Table 2 baseline parameters.
+    """
+
+    node_name: str
+    gate_count: int
+    result: RankResult
+
+    @property
+    def normalized(self) -> float:
+        """Normalized rank at this baseline point."""
+        return self.result.normalized
+
+
+def compare_nodes(
+    designs: Optional[Sequence[Tuple[str, int]]] = None,
+    solver: str = "dp",
+    bunch_size: Optional[int] = 10_000,
+    repeater_units: int = 512,
+    **baseline_overrides,
+) -> List[NodeBaseline]:
+    """Evaluate the Table 2 baseline across nodes and design sizes.
+
+    Parameters
+    ----------
+    designs:
+        ``(node_name, gate_count)`` points; defaults to the paper's
+        three baseline designs.
+    baseline_overrides:
+        Extra keyword arguments forwarded to
+        :func:`repro.core.scenarios.baseline_problem` (e.g. a different
+        clock frequency for every point).
+    """
+    if designs is None:
+        designs = PAPER_BASELINE_DESIGNS
+    results: List[NodeBaseline] = []
+    for node_name, gate_count in designs:
+        problem = baseline_problem(node_name, gate_count, **baseline_overrides)
+        result = compute_rank(
+            problem,
+            solver=solver,
+            bunch_size=bunch_size,
+            repeater_units=repeater_units,
+        )
+        results.append(
+            NodeBaseline(node_name=node_name, gate_count=gate_count, result=result)
+        )
+    return results

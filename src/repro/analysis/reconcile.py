@@ -1,0 +1,166 @@
+"""Repeater-area reconciliation (the paper's footnote 3 extension).
+
+Footnote 3: "In the current version of our implementation, we do not
+reconcile implied driver and receiver sizing with total gate area
+budget. However, the DP algorithm can be extended to address this."
+
+The unreconciled model reserves ``A_R = R * A_d`` of silicon whether or
+not the winning assignment spends it, inflating the die (Eq. (6)) and
+with it every wire length.  This module closes the loop: solve, read
+the *actually consumed* repeater area off the witness, re-provision the
+die with exactly that area (plus the requested slack), and iterate to a
+fixed point — the minimal self-consistent die for the achieved rank.
+
+Shrinking the die shortens every wire (same ratio to ``l_max``, smaller
+absolute delay), so the reconciled rank never falls below the original
+— asserted by ``tests/analysis/test_reconcile.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.problem import RankProblem
+from ..core.rank import RankResult, compute_rank
+from ..errors import RankComputationError
+
+
+@dataclass(frozen=True)
+class ReconciliationStep:
+    """One iteration of the reconciliation loop.
+
+    Attributes
+    ----------
+    repeater_fraction:
+        Die fraction provisioned for repeaters this iteration.
+    result:
+        Rank result at this provisioning.
+    used_area:
+        Repeater silicon the witness actually consumed, square metres.
+    provisioned_area:
+        Budget the die reserved (``A_R``), square metres.
+    """
+
+    repeater_fraction: float
+    result: RankResult
+    used_area: float
+    provisioned_area: float
+
+    @property
+    def utilized(self) -> float:
+        """Fraction of the provisioned budget actually spent."""
+        if self.provisioned_area == 0:
+            return 0.0
+        return self.used_area / self.provisioned_area
+
+
+@dataclass(frozen=True)
+class ReconciliationResult:
+    """Outcome of the fixed-point iteration.
+
+    Attributes
+    ----------
+    steps:
+        Iterations in order; ``steps[0]`` is the unreconciled solve.
+    converged:
+        True iff successive provisioned fractions agreed within the
+        tolerance before the iteration limit.
+    """
+
+    steps: Tuple[ReconciliationStep, ...]
+    converged: bool
+
+    @property
+    def initial(self) -> ReconciliationStep:
+        return self.steps[0]
+
+    @property
+    def final(self) -> ReconciliationStep:
+        return self.steps[-1]
+
+    @property
+    def die_area_saved(self) -> float:
+        """Budget area reclaimed by right-sizing, m^2 (can be 0)."""
+        return self.initial.provisioned_area - self.final.provisioned_area
+
+
+def _witness_used_area(tables, witness) -> float:
+    """Exact repeater area consumed by a witness assignment."""
+    used = 0.0
+    for segment in witness:
+        used += float(
+            tables.cum_rep_area[segment.pair][segment.end_group]
+            - tables.cum_rep_area[segment.pair][segment.start_group]
+        )
+    return used
+
+
+def reconcile_repeater_area(
+    problem: RankProblem,
+    slack: float = 0.05,
+    tolerance: float = 0.01,
+    max_iterations: int = 8,
+    bunch_size: Optional[int] = None,
+    repeater_units: int = 512,
+) -> ReconciliationResult:
+    """Iterate die provisioning to the witness's actual repeater usage.
+
+    Parameters
+    ----------
+    problem:
+        The starting (unreconciled) problem; its ``die.repeater_fraction``
+        seeds the iteration.
+    slack:
+        Relative headroom kept above the measured usage when
+        re-provisioning (0.05 = 5%), so the budget never strangles the
+        witness it was measured from.
+    tolerance:
+        Convergence threshold on the provisioned fraction.
+    max_iterations:
+        Iteration cap; the result reports ``converged`` honestly.
+    """
+    if slack < 0:
+        raise RankComputationError(f"slack must be non-negative, got {slack!r}")
+    if tolerance <= 0:
+        raise RankComputationError(
+            f"tolerance must be positive, got {tolerance!r}"
+        )
+    if max_iterations < 1:
+        raise RankComputationError(
+            f"max_iterations must be positive, got {max_iterations!r}"
+        )
+
+    steps: List[ReconciliationStep] = []
+    current = problem
+    converged = False
+    for _ in range(max_iterations):
+        result = compute_rank(
+            current,
+            bunch_size=bunch_size,
+            repeater_units=repeater_units,
+            collect_witness=True,
+        )
+        tables, _ = current.tables(bunch_size=bunch_size)
+        used = (
+            _witness_used_area(tables, result.witness) if result.witness else 0.0
+        )
+        steps.append(
+            ReconciliationStep(
+                repeater_fraction=current.die.repeater_fraction,
+                result=result,
+                used_area=used,
+                provisioned_area=current.die.repeater_area,
+            )
+        )
+        target_area = used * (1.0 + slack)
+        gate_area = current.die.gate_area
+        next_fraction = (
+            target_area / (target_area + gate_area) if target_area > 0 else 0.0
+        )
+        if abs(next_fraction - current.die.repeater_fraction) <= tolerance:
+            converged = True
+            break
+        current = current.with_repeater_fraction(next_fraction)
+
+    return ReconciliationResult(steps=tuple(steps), converged=converged)

@@ -1,0 +1,143 @@
+"""Scaling-roadmap study: the paper's closing claim, quantified.
+
+Section 6: "it is not possible to enable future MPU-class designs by
+material improvements alone."  This module tests that statement inside
+the model: take a design that doubles in gate count per generation and
+compare two roadmaps —
+
+* **materials-only**: stay on the starting node and spend the material
+  headroom (low-k ILD, full shielding) generation after generation;
+* **full scaling**: move to the next technology node each generation
+  at baseline materials.
+
+If the paper's claim holds, the materials-only rank trajectory must
+fall behind (and eventually collapse), while node scaling sustains it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.rank import RankResult, compute_rank
+from ..core.scenarios import baseline_problem
+from ..errors import RankComputationError
+
+#: Default generation path: (node, gate-count multiplier vs start).
+DEFAULT_GENERATIONS: Tuple[Tuple[str, int], ...] = (
+    ("180nm", 1),
+    ("130nm", 2),
+    ("90nm", 4),
+)
+
+#: Material headroom assumed reachable without changing the node.
+MATERIALS_BEST = dict(permittivity=2.8, miller_factor=1.0)
+
+
+@dataclass(frozen=True)
+class RoadmapPoint:
+    """One generation of one roadmap.
+
+    Attributes
+    ----------
+    generation:
+        0-based generation index.
+    node_name:
+        Node the design is built on at this generation.
+    gate_count:
+        Design size at this generation.
+    materials:
+        ``"baseline"`` or ``"best"`` (low-k + shielded).
+    result:
+        Rank result.
+    """
+
+    generation: int
+    node_name: str
+    gate_count: int
+    materials: str
+    result: RankResult
+
+
+def roadmap_study(
+    base_gate_count: int,
+    generations: Sequence[Tuple[str, int]] = DEFAULT_GENERATIONS,
+    clock_frequency: float = 500e6,
+    bunch_size: Optional[int] = 10_000,
+    repeater_units: int = 512,
+) -> Tuple[List[RoadmapPoint], List[RoadmapPoint]]:
+    """Run the materials-only and full-scaling roadmaps.
+
+    Returns
+    -------
+    (materials_only, full_scaling)
+        Two lists of :class:`RoadmapPoint`, one per generation.  The
+        materials-only roadmap stays on ``generations[0]``'s node with
+        best-case materials; the full-scaling roadmap follows the node
+        sequence at baseline materials.
+    """
+    if not generations:
+        raise RankComputationError("roadmap needs at least one generation")
+    if base_gate_count < 4:
+        raise RankComputationError(
+            f"base gate count too small: {base_gate_count!r}"
+        )
+
+    start_node = generations[0][0]
+    materials_only: List[RoadmapPoint] = []
+    full_scaling: List[RoadmapPoint] = []
+
+    for index, (node_name, multiplier) in enumerate(generations):
+        gates = base_gate_count * multiplier
+
+        frozen = baseline_problem(
+            start_node,
+            gates,
+            clock_frequency=clock_frequency,
+            **MATERIALS_BEST,
+        )
+        materials_only.append(
+            RoadmapPoint(
+                generation=index,
+                node_name=start_node,
+                gate_count=gates,
+                materials="best",
+                result=compute_rank(
+                    frozen, bunch_size=bunch_size, repeater_units=repeater_units
+                ),
+            )
+        )
+
+        scaled = baseline_problem(
+            node_name, gates, clock_frequency=clock_frequency
+        )
+        full_scaling.append(
+            RoadmapPoint(
+                generation=index,
+                node_name=node_name,
+                gate_count=gates,
+                materials="baseline",
+                result=compute_rank(
+                    scaled, bunch_size=bunch_size, repeater_units=repeater_units
+                ),
+            )
+        )
+
+    return materials_only, full_scaling
+
+
+def materials_shortfall(
+    materials_only: Sequence[RoadmapPoint],
+    full_scaling: Sequence[RoadmapPoint],
+) -> float:
+    """Final-generation rank gap: scaling minus materials-only.
+
+    Positive means node scaling ends ahead of the materials-only path —
+    the quantified form of the paper's closing claim.
+    """
+    if not materials_only or not full_scaling:
+        raise RankComputationError("empty roadmap")
+    return (
+        full_scaling[-1].result.normalized
+        - materials_only[-1].result.normalized
+    )

@@ -1,0 +1,120 @@
+"""Knob-equivalence analysis: the paper's headline comparison.
+
+The abstract's claim — "42% reduction in Miller coupling factor achieves
+the same rank improvement as a 38% reduction in inter-layer dielectric
+permittivity for a 1M gate design in the 130nm technology" — is an
+*equivalence* statement between two sweeps: for a given rank level, how
+much must each knob move (relative to its baseline) to reach it?
+
+:func:`equivalent_reduction` inverts a sweep by linear interpolation;
+:func:`miller_permittivity_equivalence` pairs the K and M sweeps into a
+table of (rank level, %K reduction, %M reduction) rows, the quantity
+EXPERIMENTS.md compares against the paper's 38%/42% datum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import RankComputationError
+from .sweep import SweepResult
+
+
+def _interpolate_value_at_rank(
+    values: List[float], ranks: List[float], rank_level: float
+) -> Optional[float]:
+    """Knob value reaching ``rank_level``, by piecewise-linear inversion.
+
+    Assumes ranks are non-decreasing along the sweep (both the K and M
+    sweeps go from the baseline up as the knob decreases).  Returns
+    ``None`` when the level is outside the swept range.
+    """
+    if len(values) != len(ranks) or len(values) < 2:
+        raise RankComputationError("need at least two sweep points to invert")
+    for (v0, r0), (v1, r1) in zip(zip(values, ranks), zip(values[1:], ranks[1:])):
+        low, high = min(r0, r1), max(r0, r1)
+        if low <= rank_level <= high:
+            if r1 == r0:
+                return v1
+            t = (rank_level - r0) / (r1 - r0)
+            return v0 + t * (v1 - v0)
+    return None
+
+
+def equivalent_reduction(sweep: SweepResult, rank_level: float) -> Optional[float]:
+    """Relative knob reduction (vs the first sweep point) reaching a rank.
+
+    Returns e.g. ``0.38`` meaning "a 38% reduction of this knob from its
+    baseline value reaches ``rank_level``", or ``None`` when the level
+    is out of range.
+    """
+    values = sweep.values()
+    ranks = sweep.normalized_ranks()
+    value = _interpolate_value_at_rank(values, ranks, rank_level)
+    if value is None:
+        return None
+    baseline = values[0]
+    if baseline == 0:
+        raise RankComputationError(
+            f"sweep {sweep.name!r}: zero baseline knob value"
+        )
+    return (baseline - value) / baseline
+
+
+@dataclass(frozen=True)
+class EquivalencePoint:
+    """One rank level with the knob reductions that reach it.
+
+    Attributes
+    ----------
+    rank_level:
+        Normalized rank both knobs are asked to reach.
+    reduction_a, reduction_b:
+        Fractional reductions of the two knobs (None = out of range).
+    """
+
+    rank_level: float
+    reduction_a: Optional[float]
+    reduction_b: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``reduction_b / reduction_a`` where both are defined."""
+        if not self.reduction_a or self.reduction_b is None:
+            return None
+        return self.reduction_b / self.reduction_a
+
+
+def miller_permittivity_equivalence(
+    k_sweep: SweepResult,
+    m_sweep: SweepResult,
+    num_levels: int = 8,
+) -> List[EquivalencePoint]:
+    """Pair the K and M sweeps into equivalent-reduction rows (E5).
+
+    Rank levels are spaced between the shared baseline and the smaller
+    of the two sweep maxima, so every level is reachable by both knobs.
+    Each row answers: to lift rank to this level, what %K reduction and
+    what %M reduction are needed?  The paper's datum is (~0.50 level,
+    38% K, 42.5% M) — a ratio of ~1.1.
+    """
+    if num_levels < 1:
+        raise RankComputationError(f"num_levels must be positive, got {num_levels!r}")
+    base = k_sweep.normalized_ranks()[0]
+    top = min(max(k_sweep.normalized_ranks()), max(m_sweep.normalized_ranks()))
+    if top <= base:
+        raise RankComputationError(
+            "sweeps do not improve over the baseline; equivalence undefined"
+        )
+    points: List[EquivalencePoint] = []
+    for index in range(1, num_levels + 1):
+        level = base + (top - base) * index / num_levels
+        points.append(
+            EquivalencePoint(
+                rank_level=level,
+                reduction_a=equivalent_reduction(k_sweep, level),
+                reduction_b=equivalent_reduction(m_sweep, level),
+            )
+        )
+    return points

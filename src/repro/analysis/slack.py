@@ -1,0 +1,144 @@
+"""Timing-slack profiles of witnessed rank solutions.
+
+A rank is a single number; designers then ask *where* the margin is.
+This module recomputes, for every wire group of the certified prefix,
+the achieved Eq. (3) delay on its assigned pair and the slack against
+its target — exposing the two structural features of the metric:
+
+* slack shrinks toward the short-wire end (the intrinsic-delay wall the
+  C-column plateaus come from), and
+* the boundary group's slack shows whether the rank stopped on the wall
+  (slack ~ 0 at the boundary) or on the budget (positive slack left,
+  area exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..assign.tables import AssignmentTables
+from ..core.rank import RankResult
+from ..delay.ottenbrayton import wire_delay
+from ..errors import RankComputationError
+
+
+@dataclass(frozen=True)
+class GroupSlack:
+    """Timing of one certified wire group.
+
+    Attributes
+    ----------
+    group:
+        Rank-order group index.
+    pair:
+        Layer-pair the group is assigned to.
+    length_pitches:
+        Group length in gate pitches.
+    wires:
+        Wires in the group.
+    stages:
+        Budget-charged stage count per wire (0 = free pass).
+    target:
+        Target delay, seconds.
+    achieved:
+        Achieved Eq. (3) delay, seconds.
+    """
+
+    group: int
+    pair: int
+    length_pitches: float
+    wires: int
+    stages: int
+    target: float
+    achieved: float
+
+    @property
+    def slack(self) -> float:
+        """Margin in seconds (non-negative for a valid witness)."""
+        return self.target - self.achieved
+
+    @property
+    def relative_slack(self) -> float:
+        """Slack as a fraction of the target."""
+        return self.slack / self.target if self.target > 0 else 0.0
+
+
+def slack_profile(
+    tables: AssignmentTables, result: RankResult
+) -> List[GroupSlack]:
+    """Per-group timing of a witnessed solution, rank order."""
+    if result.witness is None:
+        raise RankComputationError(
+            "slack profile needs a witness; run compute_rank with "
+            "collect_witness=True"
+        )
+    device = tables.die.node.device
+    profile: List[GroupSlack] = []
+    for segment in result.witness:
+        rc = tables.arch.pair(segment.pair).rc
+        size = float(tables.repeater_size[segment.pair])
+        for group in range(segment.start_group, segment.end_group):
+            stages = int(tables.stages[segment.pair][group])
+            length = float(tables.lengths_m[group])
+            if stages < 0:
+                raise RankComputationError(
+                    f"witness covers group {group} which is infeasible on "
+                    f"pair {segment.pair}"
+                )
+            if stages == 0:
+                achieved = wire_delay(rc, device, 1.0, 1, length)
+            else:
+                achieved = wire_delay(rc, device, size, stages, length)
+            profile.append(
+                GroupSlack(
+                    group=group,
+                    pair=segment.pair,
+                    length_pitches=float(tables.wld.lengths[group]),
+                    wires=int(tables.counts[group]),
+                    stages=stages,
+                    target=float(tables.targets[group]),
+                    achieved=achieved,
+                )
+            )
+    return profile
+
+
+@dataclass(frozen=True)
+class SlackSummary:
+    """Aggregate view of a slack profile.
+
+    Attributes
+    ----------
+    min_slack:
+        Smallest absolute margin over the prefix, seconds.
+    critical_length:
+        Length (pitches) of the group holding the minimum slack.
+    boundary_relative_slack:
+        Relative slack of the last (shortest) certified group — near 0
+        means the rank stopped on the delay wall, clearly positive
+        means the budget ran out first.
+    median_relative_slack:
+        Median relative slack across groups.
+    """
+
+    min_slack: float
+    critical_length: float
+    boundary_relative_slack: float
+    median_relative_slack: float
+
+
+def summarize_slack(profile: Sequence[GroupSlack]) -> SlackSummary:
+    """Condense a profile into its headline numbers."""
+    if not profile:
+        raise RankComputationError("empty slack profile")
+    critical = min(profile, key=lambda g: g.slack)
+    relatives = np.array([g.relative_slack for g in profile])
+    return SlackSummary(
+        min_slack=critical.slack,
+        critical_length=critical.length_pitches,
+        boundary_relative_slack=profile[-1].relative_slack,
+        median_relative_slack=float(np.median(relatives)),
+    )

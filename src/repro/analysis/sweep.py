@@ -1,0 +1,272 @@
+"""Parameter sweeps: the paper's Table 4.
+
+Each sweep varies one knob of the Table 2 baseline and records the
+normalized rank, mirroring the four columns of Table 4:
+
+* ``K`` — ILD permittivity 3.9 down to 1.8,
+* ``M`` — Miller coupling factor 2.0 down to 1.0,
+* ``C`` — target clock 500 MHz up to 1.7 GHz,
+* ``R`` — repeater area fraction 0.1 up to 0.5.
+
+The paper's own measured values are included as ``PAPER_TABLE4_*`` so
+benchmarks and EXPERIMENTS.md can print paper-vs-reproduction tables
+without copying numbers around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch.builder import ArchitectureSpec, build_architecture
+from ..core.problem import RankProblem
+from ..core.rank import RankResult, compute_rank
+from ..errors import RankComputationError
+
+#: Table 4 of the paper, column K: (ILD permittivity, normalized rank).
+PAPER_TABLE4_K: Tuple[Tuple[float, float], ...] = (
+    (3.90, 0.397288), (3.80, 0.402596), (3.70, 0.407019), (3.60, 0.413212),
+    (3.50, 0.418520), (3.40, 0.424713), (3.30, 0.430021), (3.20, 0.437098),
+    (3.10, 0.444175), (3.00, 0.450368), (2.90, 0.458330), (2.80, 0.465364),
+    (2.70, 0.474210), (2.60, 0.482172), (2.50, 0.491904), (2.40, 0.501635),
+    (2.30, 0.512251), (2.20, 0.522867), (2.10, 0.534368), (2.00, 0.547637),
+    (1.90, 0.560907), (1.80, 0.575947),
+)
+
+#: Table 4 of the paper, column M: (Miller factor, normalized rank).
+PAPER_TABLE4_M: Tuple[Tuple[float, float], ...] = (
+    (2.00, 0.397288), (1.95, 0.401711), (1.90, 0.407019), (1.85, 0.412327),
+    (1.80, 0.418520), (1.75, 0.423828), (1.70, 0.429136), (1.65, 0.435329),
+    (1.60, 0.441521), (1.55, 0.449483), (1.50, 0.456561), (1.45, 0.463594),
+    (1.40, 0.471556), (1.35, 0.479518), (1.30, 0.488365), (1.25, 0.498096),
+    (1.20, 0.507828), (1.15, 0.518444), (1.10, 0.529060), (1.05, 0.540560),
+    (1.00, 0.553830),
+)
+
+#: Table 4 of the paper, column C: (clock frequency Hz, normalized rank).
+PAPER_TABLE4_C: Tuple[Tuple[float, float], ...] = (
+    (5.00e8, 0.397288), (6.00e8, 0.391980), (7.00e8, 0.388441),
+    (8.00e8, 0.385787), (9.00e8, 0.384018), (1.00e9, 0.382249),
+    (1.10e9, 0.309706), (1.20e9, 0.309706), (1.30e9, 0.309706),
+    (1.40e9, 0.309706), (1.50e9, 0.309706), (1.60e9, 0.235608),
+    (1.70e9, 0.235608),
+)
+
+#: Table 4 of the paper, column R: (repeater fraction, normalized rank).
+PAPER_TABLE4_R: Tuple[Tuple[float, float], ...] = (
+    (0.10, 0.117438), (0.20, 0.210967), (0.30, 0.303728),
+    (0.40, 0.397288), (0.50, 0.491019),
+)
+
+#: Default coarsening used by sweeps — the paper's Section 5.2 bunch size.
+DEFAULT_BUNCH_SIZE = 10_000
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One row of a sweep: knob value, result, and paper value if known."""
+
+    value: float
+    result: RankResult
+    paper_normalized: Optional[float] = None
+
+    @property
+    def normalized(self) -> float:
+        """Normalized rank of the reproduction at this point."""
+        return self.result.normalized
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A completed sweep over one knob.
+
+    Attributes
+    ----------
+    name:
+        Knob name: ``"K"``, ``"M"``, ``"C"`` or ``"R"`` (or a custom
+        label for user-defined sweeps).
+    points:
+        Sweep rows in the order swept.
+    """
+
+    name: str
+    points: Tuple[SweepPoint, ...]
+
+    def values(self) -> List[float]:
+        """Swept knob values."""
+        return [p.value for p in self.points]
+
+    def normalized_ranks(self) -> List[float]:
+        """Reproduced normalized ranks, one per point."""
+        return [p.normalized for p in self.points]
+
+    def paper_ranks(self) -> List[Optional[float]]:
+        """Paper-reported normalized ranks (None where unknown)."""
+        return [p.paper_normalized for p in self.points]
+
+    def improvement(self) -> float:
+        """Relative rank change from the first point to the last."""
+        first = self.points[0].normalized
+        last = self.points[-1].normalized
+        if first == 0:
+            raise RankComputationError(
+                f"sweep {self.name!r}: first point has rank 0, "
+                "improvement undefined"
+            )
+        return (last - first) / first
+
+    def is_monotone(self, non_increasing: bool = False) -> bool:
+        """Whether normalized rank is monotone along the sweep."""
+        ranks = self.normalized_ranks()
+        pairs = zip(ranks, ranks[1:])
+        if non_increasing:
+            return all(a >= b - 1e-12 for a, b in pairs)
+        return all(a <= b + 1e-12 for a, b in pairs)
+
+
+def run_sweep(
+    name: str,
+    values: Sequence[float],
+    make_problem: Callable[[float], RankProblem],
+    paper: Optional[Dict[float, float]] = None,
+    solver: str = "dp",
+    bunch_size: Optional[int] = DEFAULT_BUNCH_SIZE,
+    max_groups: Optional[int] = None,
+    repeater_units: int = 512,
+) -> SweepResult:
+    """Generic sweep engine: evaluate rank at each knob value.
+
+    Parameters
+    ----------
+    name:
+        Label for the swept knob.
+    values:
+        Knob values in sweep order.
+    make_problem:
+        Maps a knob value to the :class:`RankProblem` to solve.
+    paper:
+        Optional knob-value → paper-normalized-rank lookup.
+    solver, bunch_size, max_groups, repeater_units:
+        Forwarded to :func:`repro.core.rank.compute_rank`.
+    """
+    points: List[SweepPoint] = []
+    for value in values:
+        result = compute_rank(
+            make_problem(value),
+            solver=solver,
+            bunch_size=bunch_size,
+            max_groups=max_groups,
+            repeater_units=repeater_units,
+        )
+        paper_value = paper.get(value) if paper else None
+        points.append(
+            SweepPoint(value=value, result=result, paper_normalized=paper_value)
+        )
+    return SweepResult(name=name, points=tuple(points))
+
+
+def _spec_from_problem(problem: RankProblem, **overrides) -> ArchitectureSpec:
+    """Rebuild the problem's architecture spec with overridden knobs.
+
+    The architecture object does not retain its spec, so sweeps
+    reconstruct it from the problem's die node and tier counts.
+    """
+    counts = problem.arch.tier_counts()
+    base = ArchitectureSpec(
+        node=problem.die.node,
+        local_pairs=counts.get("local", 0),
+        semi_global_pairs=counts.get("semi_global", 0),
+        global_pairs=counts.get("global", 0),
+    )
+    return replace(base, **overrides)
+
+
+def sweep_permittivity(
+    baseline: RankProblem,
+    values: Optional[Sequence[float]] = None,
+    miller_factor: float = 2.0,
+    **kwargs,
+) -> SweepResult:
+    """Table 4 column K: rank vs ILD permittivity (experiment E1)."""
+    if values is None:
+        values = [k for k, _ in PAPER_TABLE4_K]
+
+    def make(k: float) -> RankProblem:
+        spec = _spec_from_problem(
+            baseline, permittivity=k, miller_factor=miller_factor
+        )
+        return baseline.with_arch(build_architecture(spec))
+
+    return run_sweep("K", values, make, paper=dict(PAPER_TABLE4_K), **kwargs)
+
+
+def sweep_miller(
+    baseline: RankProblem,
+    values: Optional[Sequence[float]] = None,
+    permittivity: float = 3.9,
+    **kwargs,
+) -> SweepResult:
+    """Table 4 column M: rank vs Miller coupling factor (experiment E2)."""
+    if values is None:
+        values = [m for m, _ in PAPER_TABLE4_M]
+
+    def make(m: float) -> RankProblem:
+        spec = _spec_from_problem(
+            baseline, permittivity=permittivity, miller_factor=m
+        )
+        return baseline.with_arch(build_architecture(spec))
+
+    return run_sweep("M", values, make, paper=dict(PAPER_TABLE4_M), **kwargs)
+
+
+def sweep_clock(
+    baseline: RankProblem,
+    values: Optional[Sequence[float]] = None,
+    **kwargs,
+) -> SweepResult:
+    """Table 4 column C: rank vs target clock frequency (experiment E3)."""
+    if values is None:
+        values = [c for c, _ in PAPER_TABLE4_C]
+
+    def make(frequency: float) -> RankProblem:
+        return baseline.with_clock_frequency(frequency)
+
+    return run_sweep("C", values, make, paper=dict(PAPER_TABLE4_C), **kwargs)
+
+
+def sweep_repeater_fraction(
+    baseline: RankProblem,
+    values: Optional[Sequence[float]] = None,
+    **kwargs,
+) -> SweepResult:
+    """Table 4 column R: rank vs repeater area fraction (experiment E4)."""
+    if values is None:
+        values = [r for r, _ in PAPER_TABLE4_R]
+
+    def make(fraction: float) -> RankProblem:
+        return baseline.with_repeater_fraction(fraction)
+
+    return run_sweep("R", values, make, paper=dict(PAPER_TABLE4_R), **kwargs)
+
+
+def sweep_tier_geometry(
+    baseline: RankProblem,
+    tier: str = "global",
+    values: Sequence[float] = (0.75, 1.0, 1.25, 1.5, 2.0),
+    **kwargs,
+) -> SweepResult:
+    """Geometric-parameter sweep: rank vs uniform tier scaling (E17).
+
+    The paper's introduction promises quantified comparison of
+    "geometric parameters as well as process and material technology
+    advances"; this sweep scales one tier's width/spacing/thickness/ILD
+    uniformly and reports the rank response.  Scaling a tier up cuts
+    its RC (quadratically in resistance) but halves its track count per
+    doubling — the classic fat-wire trade-off.
+    """
+
+    def make(factor: float) -> RankProblem:
+        spec = _spec_from_problem(baseline).with_tier_scaling(tier, factor)
+        return baseline.with_arch(build_architecture(spec))
+
+    return run_sweep(f"geometry:{tier}", values, make, **kwargs)

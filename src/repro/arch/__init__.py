@@ -1,0 +1,26 @@
+"""Interconnect architecture: layer-pairs, stacks, and die area.
+
+The paper's IA is a stack of *layer-pairs*: each pair is two orthogonal
+routing layers sharing one geometry rule, so an L-shaped wire lives
+entirely inside one pair.  This package provides:
+
+* :mod:`repro.arch.layer` — :class:`~repro.arch.layer.LayerPair`,
+* :mod:`repro.arch.die` — die area / gate pitch / repeater budget
+  (the paper's Eq. (6) area model),
+* :mod:`repro.arch.stack` —
+  :class:`~repro.arch.stack.InterconnectArchitecture`, the ordered stack,
+* :mod:`repro.arch.builder` — construct stacks from technology nodes.
+"""
+
+from .builder import ArchitectureSpec, build_architecture
+from .die import DieModel
+from .layer import LayerPair
+from .stack import InterconnectArchitecture
+
+__all__ = [
+    "ArchitectureSpec",
+    "build_architecture",
+    "DieModel",
+    "LayerPair",
+    "InterconnectArchitecture",
+]

@@ -1,0 +1,67 @@
+"""Layer-pair model.
+
+A layer-pair is the paper's unit of routing resource: two orthogonal
+layers sharing one geometry rule, holding L-shaped wires whose two
+segments occupy one layer each.  All wires in a pair share width,
+spacing, thickness — and therefore share one :class:`~repro.rc.models.WireRC`
+and one optimal repeater size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..rc.models import WireRC
+from ..tech.node import MetalRule, ViaRule
+
+
+@dataclass(frozen=True)
+class LayerPair:
+    """One layer-pair of an interconnect architecture.
+
+    Attributes
+    ----------
+    name:
+        Display name, e.g. ``"global-1"`` or ``"semi_global-2"``.
+    tier:
+        Tier this pair draws its rules from (``"local"``,
+        ``"semi_global"`` or ``"global"``).
+    metal:
+        Geometry rule shared by every wire in the pair.
+    via:
+        Rule for vias *passing through* this pair from wires and
+        repeaters above (supplies the paper's ``v_a``).
+    rc:
+        Per-unit-length electricals of a wire on this pair (r-bar,
+        c-bar), already including ILD permittivity and the Miller factor.
+    """
+
+    name: str
+    tier: str
+    metal: MetalRule
+    via: ViaRule
+    rc: WireRC
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("LayerPair.name must be non-empty")
+        if not self.tier:
+            raise ConfigurationError("LayerPair.tier must be non-empty")
+
+    @property
+    def wire_pitch(self) -> float:
+        """Width + spacing in metres: area per unit wire length is
+        ``length * wire_pitch`` (the paper's ``l * (W_j + S_j)``)."""
+        return self.metal.pitch
+
+    def wire_area(self, length: float) -> float:
+        """Routing area consumed by a wire of the given length (m^2).
+
+        The L-shape's two segments sum to ``length``; each occupies its
+        own layer at the shared pitch, so total pair area is
+        ``length * (W + S)`` exactly as in the paper's Algorithm 4 step 4.
+        """
+        if length < 0:
+            raise ConfigurationError(f"wire length must be non-negative, got {length!r}")
+        return length * self.wire_pitch

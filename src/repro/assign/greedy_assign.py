@@ -1,0 +1,237 @@
+"""The M'' oracle: bottom-up packing without delay (paper Algorithm 5).
+
+``pack_suffix`` decides whether the remaining (shorter) wires of the WLD
+fit into the remaining (lower) layer-pairs when delay requirements are
+ignored.  Packing is greedy bottom-up — shortest wires into the lowest
+pair first — which the paper's Lemma 1 proves optimal: the lowest pairs
+see the least via blockage from the packing itself, and moving any wire
+downward only relaxes the constraints.
+
+Blockage bookkeeping follows Algorithm 5 exactly:
+
+* the capacity of pair ``q`` is reduced by the via footprints of all
+  prefix wires and repeaters living *above* the packed region
+  (``B_q = A_d - ((z_r1 + z_r2) + v * i) * v_a``), and
+* while packing pair ``q``, area is *reserved* for the vias of suffix
+  wires not yet assigned — they will necessarily land above ``q`` and
+  punch through it (``A_v,q = (p - i) * v * v_a``).
+
+The per-wire while-loop of Algorithm 5 is replaced by a closed-form
+"how many wires of this group still fit" computation per group, which
+is exact because all wires of a group share one length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import AssignmentError
+from .tables import AssignmentTables
+
+
+@dataclass(frozen=True)
+class PairFill:
+    """Suffix wires packed into one layer-pair by the M'' packer.
+
+    Attributes
+    ----------
+    pair:
+        0-based layer-pair index (0 = topmost).
+    wires:
+        Suffix wires placed in the pair.
+    area_used:
+        Routing area they consume, square metres.
+    """
+
+    pair: int
+    wires: int
+    area_used: float
+
+
+def _max_assignable(
+    capacity: float,
+    area_used: float,
+    per_wire_area: float,
+    via_footprint: float,
+    wires_remaining: int,
+    group_remaining: int,
+) -> int:
+    """How many wires of the current group fit in the current pair.
+
+    Mirrors Algorithm 5's check-before-assign loop: wire ``x`` (1-based
+    within this computation) is assignable iff
+
+        area_used + x * per_wire_area
+        + (wires_remaining - x) * via_footprint  <=  capacity
+
+    and the loop stops at the first failure.  The left side is monotone
+    in ``x`` with slope ``per_wire_area - via_footprint``; both slope
+    signs reduce to closed forms.
+    """
+    budget = capacity - area_used - wires_remaining * via_footprint
+    slope = per_wire_area - via_footprint
+    if slope <= 0:
+        # Each assignment frees net area: if the first wire fits, all of
+        # the group's remainder does; otherwise the loop stops at once.
+        first_fits = budget >= slope  # x = 1 term
+        return group_remaining if first_fits else 0
+    fit = int(budget // slope)
+    return max(0, min(group_remaining, fit))
+
+
+def pack_suffix_detail(
+    tables: AssignmentTables,
+    start_group: int,
+    top_pair: int,
+    wires_above: int,
+    repeaters_above: float,
+    top_pair_leftover: Optional[float] = None,
+) -> Optional[List[PairFill]]:
+    """Like :func:`pack_suffix` but returning the placement.
+
+    Returns the per-pair fills (bottom pair first — the packing order)
+    when the suffix fits, or ``None`` when it does not.  Used by
+    assignment reports; the solvers call the boolean
+    :func:`pack_suffix` on the hot path.
+    """
+    fills: List[PairFill] = []
+
+    def record(pair: int, wires: int, area: float) -> None:
+        if wires:
+            fills.append(PairFill(pair=pair, wires=wires, area_used=area))
+
+    feasible = _pack(
+        tables,
+        start_group,
+        top_pair,
+        wires_above,
+        repeaters_above,
+        top_pair_leftover,
+        record,
+    )
+    return fills if feasible else None
+
+
+def pack_suffix(
+    tables: AssignmentTables,
+    start_group: int,
+    top_pair: int,
+    wires_above: int,
+    repeaters_above: float,
+    top_pair_leftover: Optional[float] = None,
+) -> bool:
+    """Can groups ``[start_group, G)`` pack into pairs ``[top_pair, m)``?
+
+    Parameters
+    ----------
+    tables:
+        Precomputed assignment tables.
+    start_group:
+        First unassigned group (rank order); everything from here down
+        is packed ignoring delay.
+    top_pair:
+        Highest pair available to the packing (0 = topmost).  Pairs
+        above it hold the delay-meeting prefix.
+    wires_above:
+        Prefix wires assigned to pairs above ``top_pair`` *plus* any
+        delay wires already inside ``top_pair`` when
+        ``top_pair_leftover`` is given do NOT belong here — pass only
+        wires whose vias cross the packed pairs from strictly above
+        (for pair ``q > top_pair`` the caller's prefix count is applied
+        uniformly, matching Algorithm 5's single ``i``).
+    repeaters_above:
+        Repeaters inserted in the prefix (each blocks one via footprint
+        per packed pair).
+    top_pair_leftover:
+        If given, the remaining capacity of ``top_pair`` after its
+        delay-meeting block (already blockage-adjusted); otherwise the
+        pair's full blockage-adjusted capacity is used.
+
+    Returns
+    -------
+    bool
+        True iff every suffix wire is assigned — the value of the
+        paper's ``M''``.
+    """
+    return _pack(
+        tables,
+        start_group,
+        top_pair,
+        wires_above,
+        repeaters_above,
+        top_pair_leftover,
+        record=None,
+    )
+
+
+def _pack(
+    tables: AssignmentTables,
+    start_group: int,
+    top_pair: int,
+    wires_above: int,
+    repeaters_above: float,
+    top_pair_leftover: Optional[float],
+    record,
+) -> bool:
+    """Algorithm 5 engine shared by the boolean and detailed fronts."""
+    num_groups = tables.num_groups
+    num_pairs = tables.num_pairs
+    if not 0 <= start_group <= num_groups:
+        raise AssignmentError(
+            f"start_group {start_group} out of range for {num_groups} groups"
+        )
+    if not 0 <= top_pair <= num_pairs:
+        raise AssignmentError(
+            f"top_pair {top_pair} out of range for {num_pairs} pairs"
+        )
+    if start_group == num_groups:
+        return True  # nothing left to pack
+    if top_pair == num_pairs:
+        return False  # wires remain but no pairs remain
+
+    # Remaining wires per group, consumed shortest (last group) first.
+    group = num_groups - 1
+    group_remaining = int(tables.counts[group])
+    total_remaining = int(tables.cum_wires[num_groups] - tables.cum_wires[start_group])
+
+    for pair in range(num_pairs - 1, top_pair - 1, -1):
+        if total_remaining == 0:
+            return True
+        if pair == top_pair and top_pair_leftover is not None:
+            capacity = top_pair_leftover
+        else:
+            capacity = tables.capacity(pair, wires_above, repeaters_above)
+        if capacity <= 0:
+            continue
+        via_footprint = tables.vias_per_wire * float(tables.via_area[pair])
+        area_used = 0.0
+        wires_here = 0
+        while total_remaining > 0:
+            per_wire_area = float(tables.lengths_m[group]) * float(
+                tables.pair_pitch[pair]
+            )
+            fit = _max_assignable(
+                capacity,
+                area_used,
+                per_wire_area,
+                via_footprint,
+                total_remaining,
+                group_remaining,
+            )
+            if fit == 0:
+                break  # pair is full; continue in the next pair up
+            area_used += fit * per_wire_area
+            wires_here += fit
+            total_remaining -= fit
+            group_remaining -= fit
+            if group_remaining == 0:
+                group -= 1
+                if group < start_group:
+                    assert total_remaining == 0
+                    break
+                group_remaining = int(tables.counts[group])
+        if record is not None:
+            record(pair, wires_here, area_used)
+
+    return total_remaining == 0

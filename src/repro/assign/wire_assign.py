@@ -1,0 +1,141 @@
+"""The M' oracle: wire assignment to one layer-pair with delay (Alg. 4).
+
+Given a contiguous block of rank-ordered wire groups, one layer-pair,
+the via blockage context from above, and an available repeater area,
+``assign_with_delay`` decides whether every wire of the block fits in
+the pair *and* meets its target delay using repeaters of the pair's
+uniform optimal size, exactly as the paper's ``wire_assign``:
+
+* available area is ``B_j = A_d - A_v,j-1 - A_u,j-1`` (wire + repeater
+  via blockage from pairs above),
+* wires are assigned longest-first; each failing wire receives repeaters
+  incrementally until it meets its target or the repeater area runs out,
+* the oracle reports failure if area or repeater budget is exhausted.
+
+The incremental insertion of Algorithm 4 steps 8-11 is replaced by the
+closed-form minimal stage count (precomputed in the tables) — the two
+are equivalent because inserting uniform repeaters one at a time stops
+exactly at the minimal feasible count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..errors import AssignmentError
+from .tables import AssignmentTables
+
+
+@dataclass(frozen=True)
+class DelayAssignmentResult:
+    """Outcome of assigning a block of groups to one pair with delay.
+
+    Attributes
+    ----------
+    feasible:
+        True iff every wire fit and met its target within the budget.
+    wire_area_used:
+        Routing area consumed in the pair, square metres.
+    repeater_area_used:
+        Repeater silicon area consumed from the budget, square metres.
+    repeaters_inserted:
+        Number of repeaters physically inserted (for downstream via
+        blockage accounting).
+    leftover_capacity:
+        Routing area remaining in the pair after the block (only
+        meaningful when feasible), square metres.
+    """
+
+    feasible: bool
+    wire_area_used: float = 0.0
+    repeater_area_used: float = 0.0
+    repeaters_inserted: int = 0
+    leftover_capacity: float = 0.0
+
+
+_INFEASIBLE = DelayAssignmentResult(feasible=False)
+
+
+def assign_with_delay(
+    tables: AssignmentTables,
+    pair: int,
+    start_group: int,
+    end_group: int,
+    wires_above: int,
+    repeaters_above: float,
+    repeater_area_available: float,
+) -> DelayAssignmentResult:
+    """Assign groups ``[start_group, end_group)`` to ``pair`` with delay.
+
+    Parameters
+    ----------
+    tables:
+        Precomputed assignment tables.
+    pair:
+        0-based layer-pair index (0 = topmost).
+    start_group, end_group:
+        Rank-order group slice to assign; must satisfy
+        ``0 <= start_group <= end_group <= G``.
+    wires_above:
+        Wires already assigned to pairs above (via blockage, the paper's
+        ``i'_1`` feeding ``A_v,j-1``).
+    repeaters_above:
+        Repeaters already inserted in pairs above (the paper's ``z_r1``
+        feeding ``A_u,j-1``).
+    repeater_area_available:
+        The paper's ``r_3``: repeater area this block may consume.
+
+    Returns
+    -------
+    DelayAssignmentResult
+        ``feasible`` is False when any wire cannot meet its target on
+        this pair at any repeater count, when the block's wire area
+        exceeds the blockage-adjusted capacity, or when the repeater
+        area demanded exceeds ``repeater_area_available``.
+    """
+    num_groups = tables.num_groups
+    if not 0 <= pair < tables.num_pairs:
+        raise AssignmentError(
+            f"pair index {pair} out of range for {tables.num_pairs} pairs"
+        )
+    if not 0 <= start_group <= end_group <= num_groups:
+        raise AssignmentError(
+            f"invalid group slice [{start_group}, {end_group}) for "
+            f"{num_groups} groups"
+        )
+    if repeater_area_available < 0:
+        raise AssignmentError(
+            f"repeater area must be non-negative, got {repeater_area_available!r}"
+        )
+
+    capacity = tables.capacity(pair, wires_above, repeaters_above)
+    if start_group == end_group:
+        return DelayAssignmentResult(
+            feasible=True, leftover_capacity=capacity
+        )
+
+    # Every group in the slice must be able to meet its target on this pair.
+    if tables.next_infeasible[pair][start_group] < end_group:
+        return _INFEASIBLE
+
+    wire_area = float(
+        tables.cum_wire_area[pair][end_group] - tables.cum_wire_area[pair][start_group]
+    )
+    if wire_area > capacity:
+        return _INFEASIBLE
+
+    rep_area = float(
+        tables.cum_rep_area[pair][end_group] - tables.cum_rep_area[pair][start_group]
+    )
+    if rep_area > repeater_area_available:
+        return _INFEASIBLE
+
+    repeaters = int(
+        tables.cum_inserted[pair][end_group] - tables.cum_inserted[pair][start_group]
+    )
+    return DelayAssignmentResult(
+        feasible=True,
+        wire_area_used=wire_area,
+        repeater_area_used=rep_area,
+        repeaters_inserted=repeaters,
+        leftover_capacity=capacity - wire_area,
+    )

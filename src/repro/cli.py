@@ -1,0 +1,385 @@
+"""Command-line interface.
+
+Installed as ``ia-rank`` (see pyproject) and runnable as
+``python -m repro.cli``.  Subcommands:
+
+* ``rank`` — compute the rank of one configuration,
+* ``sweep`` — regenerate one Table 4 column (K / M / C / R),
+* ``wld`` — generate a Davis WLD and write it to CSV,
+* ``nodes`` — baseline comparison across the built-in nodes,
+* ``optimize`` — architecture search (Section 6),
+* ``curve`` — the rank(budget) curve in one DP pass,
+* ``report`` — per-pair assignment usage + timing slack,
+* ``corners`` — sign-off rank across process/operating corners.
+
+Any design-taking command accepts ``--node-file my_node.json`` to run
+on a custom JSON-described process.
+
+Examples::
+
+    ia-rank rank --node 130nm --gates 1000000 --bunch 10000
+    ia-rank sweep K --gates 1000000
+    ia-rank wld --gates 1000000 --out wld.csv
+    ia-rank nodes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compare import compare_nodes
+from .analysis.sweep import (
+    sweep_clock,
+    sweep_miller,
+    sweep_permittivity,
+    sweep_repeater_fraction,
+)
+from .core.rank import compute_rank
+from .core.scenarios import baseline_problem
+from .errors import ReproError
+from .optimize import DesignSpace, optimize_architecture
+from .reporting.tables import format_node_table, format_sweep_table, sweep_to_csv
+from .reporting.text import format_table
+from .wld.davis import DavisParameters, davis_wld
+from .wld.io import save_wld_csv
+
+_SWEEPS = {
+    "K": sweep_permittivity,
+    "M": sweep_miller,
+    "C": sweep_clock,
+    "R": sweep_repeater_fraction,
+}
+
+
+def _add_design_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--node", default="130nm", help="technology node name")
+    parser.add_argument(
+        "--node-file",
+        default="",
+        help="JSON technology-node description (overrides --node)",
+    )
+    parser.add_argument(
+        "--gates", type=int, default=1_000_000, help="design size in gates"
+    )
+    parser.add_argument(
+        "--clock", type=float, default=500e6, help="target clock in Hz"
+    )
+    parser.add_argument(
+        "--repeater-fraction",
+        type=float,
+        default=0.4,
+        help="max repeater area as a fraction of die area",
+    )
+    parser.add_argument(
+        "--permittivity", type=float, default=3.9, help="ILD relative permittivity"
+    )
+    parser.add_argument(
+        "--miller", type=float, default=2.0, help="Miller coupling factor"
+    )
+    parser.add_argument(
+        "--bunch", type=int, default=10_000, help="bunch size (0 disables bunching)"
+    )
+    parser.add_argument(
+        "--units", type=int, default=512, help="repeater budget cells"
+    )
+    parser.add_argument(
+        "--solver",
+        default="dp",
+        choices=("dp", "greedy"),
+        help="rank solver (reference/exhaustive are test-only)",
+    )
+
+
+def _problem_from_args(args: argparse.Namespace):
+    if getattr(args, "node_file", ""):
+        from .arch import ArchitectureSpec, DieModel, build_architecture
+        from .core.problem import RankProblem
+        from .tech.io import load_node
+
+        node = load_node(args.node_file)
+        arch = build_architecture(
+            ArchitectureSpec(
+                node=node,
+                permittivity=args.permittivity,
+                miller_factor=args.miller,
+            )
+        )
+        die = DieModel(
+            node=node,
+            gate_count=args.gates,
+            repeater_fraction=args.repeater_fraction,
+        )
+        wld = davis_wld(DavisParameters(gate_count=args.gates))
+        return RankProblem(
+            arch=arch, die=die, wld=wld, clock_frequency=args.clock
+        )
+    return baseline_problem(
+        args.node,
+        args.gates,
+        clock_frequency=args.clock,
+        repeater_fraction=args.repeater_fraction,
+        permittivity=args.permittivity,
+        miller_factor=args.miller,
+    )
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    problem = _problem_from_args(args)
+    result = compute_rank(
+        problem,
+        solver=args.solver,
+        bunch_size=args.bunch or None,
+        repeater_units=args.units,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    problem = _problem_from_args(args)
+    sweep_fn = _SWEEPS[args.knob]
+    sweep = sweep_fn(
+        problem,
+        solver=args.solver,
+        bunch_size=args.bunch or None,
+        repeater_units=args.units,
+    )
+    if args.csv:
+        print(sweep_to_csv(sweep), end="")
+    else:
+        print(format_sweep_table(sweep))
+    return 0
+
+
+def _cmd_wld(args: argparse.Namespace) -> int:
+    wld = davis_wld(
+        DavisParameters(gate_count=args.gates, rent_exponent=args.rent)
+    )
+    if args.out:
+        save_wld_csv(wld, args.out)
+        print(f"wrote {wld.describe()} to {args.out}")
+    else:
+        print(wld.describe())
+    return 0
+
+
+def _cmd_nodes(args: argparse.Namespace) -> int:
+    baselines = compare_nodes(
+        bunch_size=args.bunch or None, repeater_units=args.units
+    )
+    print(format_node_table(baselines))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    problem = _problem_from_args(args)
+    space = DesignSpace(
+        node=problem.die.node,
+        local_pairs=(1, 2),
+        semi_global_pairs=(1, 2, 3),
+        global_pairs=(1, 2),
+        permittivities=tuple(float(k) for k in args.k_classes.split(",")),
+        miller_factors=tuple(float(m) for m in args.m_classes.split(",")),
+        max_metal_layers=args.max_layers,
+    )
+    outcome = optimize_architecture(
+        problem,
+        space,
+        exhaustive_limit=args.exhaustive_limit,
+        bunch_size=args.bunch or None,
+        repeater_units=args.units,
+    )
+    rows = [
+        (c.label(), c.metal_layers, c.result.rank, f"{c.normalized:.6f}")
+        for c in outcome.pareto
+    ]
+    print(
+        format_table(
+            ("stack", "layers", "rank", "normalized"),
+            rows,
+            title="Rank-vs-layers Pareto frontier",
+        )
+    )
+    print()
+    print(f"best: {outcome.best.label()} -> {outcome.best.result.summary()}")
+    return 0
+
+
+def _cmd_corners(args: argparse.Namespace) -> int:
+    from .analysis.corners import STANDARD_CORNERS, rank_across_corners
+
+    problem = _problem_from_args(args)
+    report = rank_across_corners(
+        problem,
+        STANDARD_CORNERS,
+        bunch_size=args.bunch or None,
+        repeater_units=args.units,
+    )
+    rows = [
+        (corner.name, result.rank, f"{result.normalized:.6f}",
+         "yes" if result.fits else "NO")
+        for corner, result in report.results
+    ]
+    print(
+        format_table(
+            ("corner", "rank", "normalized", "fits"),
+            rows,
+            title="Rank across corners",
+        )
+    )
+    worst_corner, worst = report.worst
+    print()
+    print(
+        f"sign-off rank: {worst.rank:,} ({worst.normalized:.6f}) at corner "
+        f"{worst_corner.name!r}; guardband vs nominal: "
+        f"{report.guardband:.6f}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.slack import slack_profile, summarize_slack
+    from .reporting.witness import format_assignment_report
+
+    problem = _problem_from_args(args)
+    result = compute_rank(
+        problem,
+        solver="dp",
+        bunch_size=args.bunch or None,
+        repeater_units=args.units,
+        collect_witness=True,
+    )
+    tables, _ = problem.tables(bunch_size=args.bunch or None)
+    print(result.summary())
+    print()
+    print(format_assignment_report(tables, result))
+    if result.witness:
+        summary = summarize_slack(slack_profile(tables, result))
+        print()
+        print(
+            f"timing: min slack {summary.min_slack * 1e12:.2f} ps at "
+            f"length {summary.critical_length:g} pitches; boundary group "
+            f"relative slack {summary.boundary_relative_slack * 100:.1f}% "
+            f"({'delay-wall' if summary.boundary_relative_slack < 0.05 else 'budget'}-bound)"
+        )
+    return 0
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    from .core.curve import solve_budget_rank_curve
+
+    problem = _problem_from_args(args)
+    tables, _ = problem.tables(bunch_size=args.bunch or None)
+    curve = solve_budget_rank_curve(tables, repeater_units=args.units)
+    total = tables.total_wires
+    step = max(1, curve.num_units // args.points) if curve.num_units else 1
+    rows = []
+    for cells in range(0, curve.num_units + 1, step):
+        rows.append(
+            (
+                cells,
+                f"{cells * curve.cell_area * 1e6:.4f}",
+                curve.ranks[cells],
+                f"{curve.ranks[cells] / total:.6f}",
+            )
+        )
+    print(
+        format_table(
+            ("budget cells", "area [mm^2]", "rank", "normalized"),
+            rows,
+            title="Budget-rank curve (fixed die)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="ia-rank",
+        description=(
+            "Interconnect-architecture rank metric "
+            "(reproduction of Dasgupta-Kahng-Muddu, DATE 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_rank = sub.add_parser("rank", help="compute the rank of one configuration")
+    _add_design_args(p_rank)
+    p_rank.set_defaults(func=_cmd_rank)
+
+    p_sweep = sub.add_parser("sweep", help="regenerate one Table 4 column")
+    p_sweep.add_argument("knob", choices=sorted(_SWEEPS), help="knob to sweep")
+    _add_design_args(p_sweep)
+    p_sweep.add_argument("--csv", action="store_true", help="emit CSV instead")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_wld = sub.add_parser("wld", help="generate a Davis WLD")
+    p_wld.add_argument("--gates", type=int, default=1_000_000)
+    p_wld.add_argument("--rent", type=float, default=0.6, help="Rent exponent")
+    p_wld.add_argument("--out", default="", help="CSV output path")
+    p_wld.set_defaults(func=_cmd_wld)
+
+    p_nodes = sub.add_parser("nodes", help="baseline comparison across nodes")
+    p_nodes.add_argument("--bunch", type=int, default=10_000)
+    p_nodes.add_argument("--units", type=int, default=512)
+    p_nodes.set_defaults(func=_cmd_nodes)
+
+    p_opt = sub.add_parser(
+        "optimize", help="search architectures for maximal rank (Section 6)"
+    )
+    _add_design_args(p_opt)
+    p_opt.add_argument(
+        "--k-classes",
+        default="3.9,3.6,2.8",
+        help="comma-separated candidate ILD permittivities",
+    )
+    p_opt.add_argument(
+        "--m-classes",
+        default="2.0,1.0",
+        help="comma-separated candidate Miller factors (shielding levels)",
+    )
+    p_opt.add_argument("--max-layers", type=int, default=12)
+    p_opt.add_argument("--exhaustive-limit", type=int, default=128)
+    p_opt.set_defaults(func=_cmd_optimize)
+
+    p_curve = sub.add_parser(
+        "curve", help="rank vs repeater budget, one DP pass (fixed die)"
+    )
+    _add_design_args(p_curve)
+    p_curve.add_argument(
+        "--points", type=int, default=16, help="rows to print along the curve"
+    )
+    p_curve.set_defaults(func=_cmd_curve)
+
+    p_report = sub.add_parser(
+        "report",
+        help="full assignment report: per-pair usage + timing slack",
+    )
+    _add_design_args(p_report)
+    p_report.set_defaults(func=_cmd_report)
+
+    p_corners = sub.add_parser(
+        "corners", help="rank across process/operating corners"
+    )
+    _add_design_args(p_corners)
+    p_corners.set_defaults(func=_cmd_corners)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

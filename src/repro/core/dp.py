@@ -1,0 +1,307 @@
+"""Optimized dynamic program for rank computation.
+
+This solver computes the exact rank (at wire-group granularity and
+repeater-cell granularity) by exploiting the structure of the paper's
+Eq. (1) recurrence: the only predecessor states that matter are the
+*all-meeting* ones ``M[i'_1, j, r_1, i'_1]``, so the set of wires meeting
+their targets is always a prefix of the rank-ordered WLD.  The state
+space collapses from the paper's 4-D boolean table to
+
+    F[p][b][r] = minimal repeater count over assignments of the first
+                 ``b`` wire groups to layer-pairs ``0..p`` such that all
+                 of them meet their targets using at most ``r`` budget
+                 cells (infinity if infeasible)
+
+— tracking the *minimal* repeater count is sound because repeaters only
+ever hurt downstream feasibility (via blockage in lower pairs), so fewer
+dominates.  A transition extends the prefix into the next pair (the M'
+oracle), and each transition is closed into a rank candidate by packing
+the remaining wires bottom-up (the M'' oracle of Lemma 1) through the
+transition pair's leftover capacity — exactly the role of the paper's
+``i`` dimension.
+
+The returned rank equals the paper algorithm's ``max i'`` (see
+``tests/core/test_cross_validation.py``, which checks agreement with the
+faithful wire-at-a-time reference and with exhaustive search).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..assign.greedy_assign import pack_suffix
+from ..assign.tables import AssignmentTables
+from ..errors import RankComputationError
+from .discretize import DEFAULT_REPEATER_UNITS, discretize_repeaters
+
+
+@dataclass(frozen=True)
+class WitnessSegment:
+    """One layer-pair's slice of the delay-meeting prefix.
+
+    Attributes
+    ----------
+    pair:
+        0-based layer-pair index (0 = topmost).
+    start_group, end_group:
+        Rank-order group slice assigned to the pair (may be empty).
+    repeater_cells:
+        Budget cells consumed by the slice.
+    repeaters:
+        Repeaters physically inserted in the slice.
+    """
+
+    pair: int
+    start_group: int
+    end_group: int
+    repeater_cells: int
+    repeaters: int
+
+
+@dataclass
+class SolverStats:
+    """Instrumentation of one solver run (all solvers share this type)."""
+
+    solver: str = ""
+    states_explored: int = 0
+    transitions: int = 0
+    pack_checks: int = 0
+    pack_successes: int = 0
+    runtime_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class RawSolution:
+    """Solver-level result (wrapped by :class:`repro.core.rank.RankResult`).
+
+    Attributes
+    ----------
+    rank:
+        Number of wires in the maximal all-meeting prefix (the paper
+        algorithm's returned ``i'``); 0 when the WLD does not fit.
+    fits:
+        Definition 3's condition: True iff all wires can be assigned
+        ignoring delay.
+    stats:
+        Instrumentation counters.
+    witness:
+        Optional per-pair breakdown of the winning prefix.
+    """
+
+    rank: int
+    fits: bool
+    stats: SolverStats
+    witness: Optional[Tuple[WitnessSegment, ...]] = None
+
+
+def solve_rank_dp(
+    tables: AssignmentTables,
+    repeater_units: int = DEFAULT_REPEATER_UNITS,
+    collect_witness: bool = False,
+) -> RawSolution:
+    """Compute the rank of the architecture exactly (DP solver).
+
+    Parameters
+    ----------
+    tables:
+        Precomputed assignment tables for the problem.
+    repeater_units:
+        Number of cells the repeater budget is discretized into;
+        solutions are conservative within one cell per (pair, group)
+        block.
+    collect_witness:
+        Also reconstruct the winning prefix assignment.
+
+    Returns
+    -------
+    RawSolution
+    """
+    start_time = time.perf_counter()
+    stats = SolverStats(solver="dp")
+
+    disc = discretize_repeaters(tables, repeater_units)
+    num_units = disc.num_units
+    num_groups = tables.num_groups
+    num_pairs = tables.num_pairs
+    cum_wires = tables.cum_wires
+
+    # Definition 3: rank 0 outright if the WLD does not fit at all.
+    fits = pack_suffix(tables, 0, 0, 0, 0.0)
+    if not fits:
+        stats.runtime_seconds = time.perf_counter() - start_time
+        return RawSolution(rank=0, fits=False, stats=stats)
+
+    best_rank = 0
+    best_trace: Optional[Tuple[int, int, int, int]] = None  # (pair, b, e, r_pred)
+
+    inf = math.inf
+    shape = (num_groups + 1, num_units + 1)
+    f_prev = np.full(shape, inf)
+    f_prev[0, 0] = 0.0
+    f_prev = np.minimum.accumulate(f_prev, axis=1)
+
+    keep_parents = collect_witness
+    parent_b: List[np.ndarray] = []
+    parent_r: List[np.ndarray] = []
+
+    for pair in range(num_pairs):
+        f_new = np.full(shape, inf)
+        if keep_parents:
+            pb = np.full(shape, -1, dtype=np.int32)
+            pr = np.full(shape, -1, dtype=np.int32)
+        cum_area = tables.cum_wire_area[pair]
+        cum_ins = tables.cum_inserted[pair]
+        delay_limit = tables.next_infeasible[pair]
+
+        for b in range(num_groups + 1):
+            row = f_prev[b]
+            finite = np.isfinite(row)
+            if not finite.any():
+                continue
+            # Only transition from budgets where the value strictly
+            # improves: equal-z states at higher r are dominated (the
+            # final cummin over r restores their successors).
+            values = row.copy()
+            values[~finite] = inf
+            use = np.zeros(num_units + 1, dtype=bool)
+            prev_best = inf
+            for r in range(num_units + 1):
+                if values[r] < prev_best:
+                    use[r] = True
+                    prev_best = values[r]
+            for r in np.flatnonzero(use):
+                z = float(row[r])
+                stats.states_explored += 1
+                capacity = tables.capacity(pair, float(cum_wires[b]), z)
+
+                # Largest prefix extension the pair can hold by area.
+                e_hi = int(
+                    np.searchsorted(
+                        cum_area, cum_area[b] + capacity * (1 + 1e-12), side="right"
+                    )
+                    - 1
+                )
+                e_hi = min(e_hi, int(delay_limit[b]))
+                if e_hi < b:
+                    continue
+
+                es = np.arange(b, e_hi + 1)
+                du = disc.slice_units_batch(pair, b, es)
+                valid = np.isfinite(du) & (r + du <= num_units)
+                if not valid.any():
+                    continue
+                es = es[valid]
+                nr = (r + du[valid]).astype(np.int64)
+                nz = z + (cum_ins[es] - cum_ins[b])
+                stats.transitions += len(es)
+
+                target = f_new[es, nr]
+                improve = nz < target
+                if improve.any():
+                    f_new[es[improve], nr[improve]] = nz[improve]
+                    if keep_parents:
+                        pb[es[improve], nr[improve]] = b
+                        pr[es[improve], nr[improve]] = r
+
+                # Rank candidates: largest e first; stop at the first
+                # success (smaller e can only give a smaller rank).
+                leftover = capacity - (cum_area[es] - cum_area[b])
+                for idx in range(len(es) - 1, -1, -1):
+                    e = int(es[idx])
+                    if int(cum_wires[e]) <= best_rank:
+                        break
+                    stats.pack_checks += 1
+                    if pack_suffix(
+                        tables,
+                        e,
+                        pair,
+                        int(cum_wires[e]),
+                        float(nz[idx]),
+                        top_pair_leftover=float(leftover[idx]),
+                    ):
+                        stats.pack_successes += 1
+                        best_rank = int(cum_wires[e])
+                        best_trace = (pair, b, e, r)
+                        break
+
+        if keep_parents:
+            # Cummin over the budget axis with parent propagation, so
+            # every finite post-cummin state has an exact provenance.
+            for r in range(1, num_units + 1):
+                mask = f_new[:, r] > f_new[:, r - 1]
+                f_new[mask, r] = f_new[mask, r - 1]
+                pb[mask, r] = pb[mask, r - 1]
+                pr[mask, r] = pr[mask, r - 1]
+            f_prev = f_new
+            parent_b.append(pb)
+            parent_r.append(pr)
+        else:
+            f_prev = np.minimum.accumulate(f_new, axis=1)
+
+    witness = None
+    if collect_witness and best_trace is not None:
+        witness = _reconstruct_witness(
+            tables, disc, parent_b, parent_r, best_trace
+        )
+
+    stats.runtime_seconds = time.perf_counter() - start_time
+    return RawSolution(rank=best_rank, fits=True, stats=stats, witness=witness)
+
+
+def _reconstruct_witness(
+    tables: AssignmentTables,
+    disc,
+    parent_b: List[np.ndarray],
+    parent_r: List[np.ndarray],
+    best_trace: Tuple[int, int, int, int],
+) -> Tuple[WitnessSegment, ...]:
+    """Walk parent pointers back from the winning transition."""
+    pair, b, e, r = best_trace
+    du = disc.slice_units(pair, b, e)
+    if not math.isfinite(du):
+        raise RankComputationError("winning transition lost its unit accounting")
+    segments = [
+        WitnessSegment(
+            pair=pair,
+            start_group=b,
+            end_group=e,
+            repeater_cells=int(du),
+            repeaters=int(
+                tables.cum_inserted[pair][e] - tables.cum_inserted[pair][b]
+            ),
+        )
+    ]
+    # The winning transition read state (b, r) after pairs 0..pair-1.
+    cur_b, cur_r = b, r
+    for p in range(pair - 1, -1, -1):
+        pb = int(parent_b[p][cur_b, cur_r])
+        pr = int(parent_r[p][cur_b, cur_r])
+        if pb < 0:
+            raise RankComputationError(
+                f"witness reconstruction failed: no parent for state "
+                f"(pair={p}, groups={cur_b}, cells={cur_r})"
+            )
+        du = disc.slice_units(p, pb, cur_b)
+        segments.append(
+            WitnessSegment(
+                pair=p,
+                start_group=pb,
+                end_group=cur_b,
+                repeater_cells=int(du),
+                repeaters=int(
+                    tables.cum_inserted[p][cur_b] - tables.cum_inserted[p][pb]
+                ),
+            )
+        )
+        cur_b, cur_r = pb, pr
+    if cur_b != 0:
+        raise RankComputationError(
+            f"witness reconstruction ended at group {cur_b}, expected 0"
+        )
+    segments.reverse()
+    return tuple(segments)

@@ -1,0 +1,96 @@
+"""Greedy top-down assignment — the baseline of the paper's Figure 2.
+
+The greedy strategy assigns wires longest-first into the topmost
+layer-pair until it is full, inserting repeaters into each failing wire
+as long as budget remains, then moves down a pair — with no lookahead.
+Figure 2 of the paper shows this is suboptimal: two long wires can eat
+the whole repeater budget on a high-RC upper pair, starving the wires
+below (greedy rank 2 vs optimal rank 4).
+
+The solver reports the same quantities as the DP so the two can be
+compared head-to-head (``benchmarks/bench_fig2.py``).  The repeater
+budget is charged in continuous area here — greedy is a baseline, not a
+cross-validated oracle; comparison tests account for the DP's
+conservative cell rounding.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..assign.tables import AssignmentTables
+from .dp import RawSolution, SolverStats
+
+
+def solve_rank_greedy(tables: AssignmentTables) -> RawSolution:
+    """Rank achieved by greedy top-down assignment with greedy buffering.
+
+    Returns
+    -------
+    RawSolution
+        ``rank`` counts the leading wires that met their targets before
+        the first failure; ``fits`` reports whether greedy managed to
+        place every wire at all (greedy may also fail Definition 3 where
+        an optimal packer would not — that, too, is part of the
+        baseline's weakness).
+    """
+    start_time = time.perf_counter()
+    stats = SolverStats(solver="greedy")
+
+    num_groups = tables.num_groups
+    num_pairs = tables.num_pairs
+    budget_left = tables.repeater_budget_area
+
+    group = 0
+    group_remaining = int(tables.counts[0]) if num_groups else 0
+    wires_assigned = 0
+    repeaters_total = 0
+    rank = 0
+    delay_failed = False
+
+    for pair in range(num_pairs):
+        if group >= num_groups:
+            break
+        capacity = tables.capacity(pair, wires_assigned, repeaters_total)
+        area_used = 0.0
+        unit_rep_area = float(tables.repeater_unit_area[pair])
+        while group < num_groups:
+            stats.states_explored += 1
+            per_wire_area = float(tables.lengths_m[group]) * float(
+                tables.pair_pitch[pair]
+            )
+            fit = int((capacity - area_used) // per_wire_area)
+            fit = min(fit, group_remaining)
+            if fit <= 0:
+                break  # pair full; next pair down
+
+            meeting = 0
+            if not delay_failed:
+                stages = int(tables.stages[pair][group])
+                if stages < 0:
+                    delay_failed = True  # cannot meet target on this pair
+                elif stages == 0:
+                    meeting = fit  # bare driver suffices, no budget used
+                else:
+                    per_wire_rep = stages * unit_rep_area
+                    affordable = int(budget_left // per_wire_rep)
+                    meeting = min(fit, affordable)
+                    budget_left -= meeting * per_wire_rep
+                    repeaters_total += meeting * (stages - 1)
+                    if meeting < fit:
+                        delay_failed = True
+                rank += meeting
+
+            area_used += fit * per_wire_area
+            wires_assigned += fit
+            group_remaining -= fit
+            if group_remaining == 0:
+                group += 1
+                if group < num_groups:
+                    group_remaining = int(tables.counts[group])
+
+    fits = group >= num_groups
+    stats.runtime_seconds = time.perf_counter() - start_time
+    if not fits:
+        return RawSolution(rank=0, fits=False, stats=stats)
+    return RawSolution(rank=rank, fits=True, stats=stats)

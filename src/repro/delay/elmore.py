@@ -1,0 +1,64 @@
+"""Elmore-style repeatered-line delay, for cross-validation.
+
+An independent first-order model used by tests and ablations to check
+that the Otten--Brayton trends (monotonicity in R, C, length; benefit of
+repeaters for long wires) are not artifacts of one formula.  The 50%
+Elmore delay of one stage driving a distributed RC segment plus the next
+stage's input is
+
+    t = ln2 * R_d * (C_w + C_in + C_par) + ln2 * R_w * C_in + 0.38 * R_w * C_w
+
+with ``R_d = r_o/s``, ``C_in = s*c_o``, ``C_par = s*c_p``,
+``R_w = r*l_seg`` and ``C_w = c*l_seg``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import DelayModelError
+from ..rc.models import WireRC
+from ..tech.device import DeviceParameters
+
+_LN2 = math.log(2.0)
+_DISTRIBUTED = 0.38
+
+
+def elmore_segment_delay(
+    rc: WireRC,
+    device: DeviceParameters,
+    size: float,
+    segment_length: float,
+) -> float:
+    """50% Elmore delay of one repeater stage and its wire segment."""
+    if size <= 0:
+        raise DelayModelError(f"repeater size must be positive, got {size!r}")
+    if segment_length < 0:
+        raise DelayModelError(
+            f"segment length must be non-negative, got {segment_length!r}"
+        )
+    r_d = device.output_resistance / size
+    c_in = size * device.input_capacitance
+    c_par = size * device.parasitic_capacitance
+    r_w = rc.resistance * segment_length
+    c_w = rc.capacitance * segment_length
+    return (
+        _LN2 * r_d * (c_w + c_in + c_par)
+        + _LN2 * r_w * c_in
+        + _DISTRIBUTED * r_w * c_w
+    )
+
+
+def elmore_wire_delay(
+    rc: WireRC,
+    device: DeviceParameters,
+    size: float,
+    stages: int,
+    length: float,
+) -> float:
+    """Total Elmore delay of a wire split into ``stages`` equal segments."""
+    if stages < 1:
+        raise DelayModelError(f"stage count must be at least 1, got {stages!r}")
+    if length < 0:
+        raise DelayModelError(f"wire length must be non-negative, got {length!r}")
+    return stages * elmore_segment_delay(rc, device, size, length / stages)

@@ -1,0 +1,118 @@
+"""The Otten--Brayton wire delay model (paper Eqs. (2) and (3)).
+
+A wire of length ``l`` on layer-pair ``j`` is driven through ``eta``
+identical stages (the original driver plus ``eta - 1`` inserted
+repeaters), each a size-``s`` inverter.  The delay of one segment of
+length ``l/eta`` is (Eq. (2))
+
+    tau = b * R_tr * (C_L + c_p') + b * (c * R_tr + r * C_L) * (l/eta)
+          + a * r * c * (l/eta)^2
+
+with ``R_tr = r_o / s``, ``C_L = s * c_o`` and ``c_p' = s * c_p``; the
+total delay is ``eta`` segments (Eq. (3)):
+
+    D = b * r_o * (c_o + c_p) * eta
+        + b * (c * r_o / s + r * c_o * s) * l
+        + a * r * c * l^2 / eta
+
+with the switching constants ``a = 0.4`` and ``b = 0.7``.  Note how the
+intrinsic term grows with ``eta`` while the distributed-RC term shrinks:
+repeaters trade driver self-delay against quadratic wire delay.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..constants import SWITCHING_A, SWITCHING_B
+from ..errors import DelayModelError
+from ..rc.models import WireRC
+from ..tech.device import DeviceParameters
+
+
+def _validate(length: float, size: float, stages: int) -> None:
+    if length < 0:
+        raise DelayModelError(f"wire length must be non-negative, got {length!r}")
+    if size <= 0:
+        raise DelayModelError(f"repeater size must be positive, got {size!r}")
+    if stages < 1:
+        raise DelayModelError(f"stage count must be at least 1, got {stages!r}")
+
+
+def segment_delay(
+    rc: WireRC,
+    device: DeviceParameters,
+    size: float,
+    segment_length: float,
+    a: float = SWITCHING_A,
+    b: float = SWITCHING_B,
+) -> float:
+    """Delay of one repeater-to-repeater segment (paper Eq. (2)), seconds."""
+    _validate(segment_length, size, 1)
+    r_tr = device.output_resistance / size
+    c_load = size * device.input_capacitance
+    c_par = size * device.parasitic_capacitance
+    return (
+        b * r_tr * (c_load + c_par)
+        + b * (rc.capacitance * r_tr + rc.resistance * c_load) * segment_length
+        + a * rc.rc_product * segment_length ** 2
+    )
+
+
+def wire_delay(
+    rc: WireRC,
+    device: DeviceParameters,
+    size: float,
+    stages: int,
+    length: float,
+    a: float = SWITCHING_A,
+    b: float = SWITCHING_B,
+) -> float:
+    """Total delay of a wire driven through ``stages`` stages (Eq. (3)).
+
+    ``stages`` counts the driver itself; ``stages - 1`` repeaters are
+    physically inserted along the wire.
+    """
+    _validate(length, size, stages)
+    intrinsic = b * device.intrinsic_delay * stages
+    linear = (
+        b
+        * (
+            rc.capacitance * device.output_resistance / size
+            + rc.resistance * device.input_capacitance * size
+        )
+        * length
+    )
+    quadratic = a * rc.rc_product * length ** 2 / stages
+    return intrinsic + linear + quadratic
+
+
+def unbuffered_delay(
+    rc: WireRC,
+    device: DeviceParameters,
+    size: float,
+    length: float,
+    a: float = SWITCHING_A,
+    b: float = SWITCHING_B,
+) -> float:
+    """Delay with the bare driver and no inserted repeaters (eta = 1)."""
+    return wire_delay(rc, device, size, 1, length, a, b)
+
+
+def min_delay_stage_count(
+    rc: WireRC,
+    device: DeviceParameters,
+    length: float,
+    a: float = SWITCHING_A,
+    b: float = SWITCHING_B,
+) -> float:
+    """Real-valued stage count minimizing Eq. (3) for a wire.
+
+    Setting dD/d(eta) = 0 gives
+    ``eta* = l * sqrt(a * r * c / (b * r_o * (c_o + c_p)))``.
+    The integer optimum is one of ``floor``/``ceil`` of this value
+    (delay is convex in ``eta``).
+    """
+    if length < 0:
+        raise DelayModelError(f"wire length must be non-negative, got {length!r}")
+    return length * math.sqrt(a * rc.rc_product / (b * device.intrinsic_delay))

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A model object was constructed with inconsistent or invalid parameters.
+
+    Examples: a layer-pair with non-positive wire width, a technology node
+    whose metal stack is empty, a repeater budget fraction outside [0, 1).
+    """
+
+
+class UnitsError(ReproError):
+    """A quantity was supplied in an impossible range for its physical unit."""
+
+
+class WLDError(ReproError):
+    """A wire length distribution is malformed.
+
+    Raised for negative counts, non-positive lengths, empty distributions
+    where a non-empty one is required, or coarsening parameters that cannot
+    be honoured (e.g. a bunch size of zero).
+    """
+
+
+class DelayModelError(ReproError):
+    """A delay computation was requested with parameters outside the model.
+
+    Examples: non-positive wire length, a repeater count of zero where the
+    Otten--Brayton formula requires at least one stage, or an optimal sizing
+    query on a layer-pair with zero per-unit-length resistance.
+    """
+
+
+class AssignmentError(ReproError):
+    """Wire assignment bookkeeping was driven into an invalid state.
+
+    This signals misuse of the assignment engines (e.g. assigning to a
+    layer-pair index outside the architecture), *not* mere infeasibility:
+    infeasible assignments are reported through boolean results, mirroring
+    the paper's M'/M'' oracles.
+    """
+
+
+class RankComputationError(ReproError):
+    """The rank solver was configured inconsistently.
+
+    Examples: a problem whose WLD and architecture use different die areas,
+    zero repeater-area discretization cells, or an unknown solver name.
+    """

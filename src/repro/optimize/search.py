@@ -1,0 +1,271 @@
+"""Search strategies over architecture design spaces.
+
+Small spaces (the realistic case: a handful of tier allocations times a
+few material classes) are evaluated exhaustively; larger spaces get a
+first-improvement hill climb over single-knob moves.  Both report
+:class:`CandidateResult` rows, and :func:`pareto_front` extracts the
+rank-vs-metal-layers frontier a BEOL roadmap discussion needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..arch.builder import ArchitectureSpec, build_architecture
+from ..core.problem import RankProblem
+from ..core.rank import RankResult, compute_rank
+from ..errors import RankComputationError
+from ..rc.noise import SHIELDING_LADDER
+from .space import DesignSpace
+
+#: Miller factor -> routing-capacity fraction under shielding-aware
+#: evaluation, from the standard shielding ladder (noise module).
+_SHIELDING_CAPACITY = {
+    policy.miller_factor: policy.capacity_factor for policy in SHIELDING_LADDER
+}
+
+
+def shielding_capacity_factor(miller_factor: float) -> float:
+    """Routing capacity left after buying a Miller factor via shields.
+
+    Exact ladder points (2.0 / 1.5 / 1.0) use their policies; values in
+    between interpolate linearly on tracks-per-signal — a conservative
+    smooth model of partial shielding.
+    """
+    if miller_factor in _SHIELDING_CAPACITY:
+        return _SHIELDING_CAPACITY[miller_factor]
+    ladder = sorted(SHIELDING_LADDER, key=lambda p: p.miller_factor)
+    if miller_factor >= ladder[-1].miller_factor:
+        return ladder[-1].capacity_factor
+    if miller_factor <= ladder[0].miller_factor:
+        return ladder[0].capacity_factor
+    for low, high in zip(ladder, ladder[1:]):
+        if low.miller_factor <= miller_factor <= high.miller_factor:
+            span = high.miller_factor - low.miller_factor
+            t = (miller_factor - low.miller_factor) / span
+            tracks = low.tracks_per_signal + t * (
+                high.tracks_per_signal - low.tracks_per_signal
+            )
+            return 1.0 / tracks
+    return 1.0  # unreachable; ladder covers the interval
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """One evaluated architecture candidate.
+
+    Attributes
+    ----------
+    spec:
+        The candidate's declarative description.
+    result:
+        Its rank result on the study design.
+    """
+
+    spec: ArchitectureSpec
+    result: RankResult
+
+    @property
+    def metal_layers(self) -> int:
+        """Total metal layers the candidate builds (2 per pair)."""
+        return 2 * self.spec.num_pairs
+
+    @property
+    def normalized(self) -> float:
+        """Normalized rank (0 when the WLD does not fit)."""
+        return self.result.normalized
+
+    def label(self) -> str:
+        """Compact human-readable candidate label."""
+        return (
+            f"G{self.spec.global_pairs}/SG{self.spec.semi_global_pairs}"
+            f"/L{self.spec.local_pairs} k={self.spec.permittivity:g} "
+            f"M={self.spec.miller_factor:g}"
+        )
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of an architecture search.
+
+    Attributes
+    ----------
+    best:
+        Highest-rank candidate (ties broken toward fewer metal layers).
+    evaluated:
+        Every candidate evaluated, in evaluation order.
+    pareto:
+        The rank-vs-layers frontier among the evaluated candidates.
+    """
+
+    best: CandidateResult
+    evaluated: Tuple[CandidateResult, ...]
+    pareto: Tuple[CandidateResult, ...]
+
+
+def _solve(
+    problem: RankProblem,
+    spec: ArchitectureSpec,
+    solve_options,
+    shielding_aware: bool = False,
+) -> RankResult:
+    variant = problem.with_arch(build_architecture(spec))
+    if shielding_aware:
+        factor = shielding_capacity_factor(spec.miller_factor)
+        variant = dataclasses.replace(
+            variant, utilization=problem.utilization * factor
+        )
+    return compute_rank(variant, **solve_options)
+
+
+def evaluate_candidates(
+    problem: RankProblem,
+    specs: Sequence[ArchitectureSpec],
+    shielding_aware: bool = False,
+    **solve_options,
+) -> List[CandidateResult]:
+    """Rank every candidate architecture on the problem's design.
+
+    With ``shielding_aware=True``, a candidate's Miller factor is
+    assumed to be bought with shield wires, and its routing utilization
+    pays the corresponding track cost (1x / 2x / 3x tracks per signal
+    for M = 2.0 / 1.5 / 1.0) — the honest version of the M knob.
+    """
+    results: List[CandidateResult] = []
+    for spec in specs:
+        results.append(
+            CandidateResult(
+                spec=spec,
+                result=_solve(problem, spec, solve_options, shielding_aware),
+            )
+        )
+    return results
+
+
+def pareto_front(
+    candidates: Sequence[CandidateResult],
+    cost: Callable[[CandidateResult], float] = lambda c: c.metal_layers,
+) -> List[CandidateResult]:
+    """Non-dominated candidates: maximal rank, minimal cost.
+
+    A candidate is kept iff no other candidate has both >= rank and
+    <= cost with at least one strict.  Output is sorted by cost.
+    """
+    kept: List[CandidateResult] = []
+    for candidate in candidates:
+        dominated = False
+        for other in candidates:
+            if other is candidate:
+                continue
+            better_rank = other.result.rank >= candidate.result.rank
+            better_cost = cost(other) <= cost(candidate)
+            strictly = (
+                other.result.rank > candidate.result.rank
+                or cost(other) < cost(candidate)
+            )
+            if better_rank and better_cost and strictly:
+                dominated = True
+                break
+        if not dominated:
+            kept.append(candidate)
+    # dedupe identical (rank, cost) points, keep first
+    seen = set()
+    unique: List[CandidateResult] = []
+    for candidate in sorted(kept, key=lambda c: (cost(c), -c.result.rank)):
+        key = (candidate.result.rank, cost(candidate))
+        if key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    return unique
+
+
+def hill_climb(
+    problem: RankProblem,
+    space: DesignSpace,
+    initial: Optional[ArchitectureSpec] = None,
+    max_steps: int = 50,
+    shielding_aware: bool = False,
+    **solve_options,
+) -> List[CandidateResult]:
+    """Best-improvement hill climb over single-knob moves.
+
+    Returns the trajectory (including the start); the last element is a
+    local optimum of the neighbourhood.  Already-evaluated specs are
+    cached so the climb never re-solves a candidate.
+    """
+    if max_steps < 1:
+        raise RankComputationError(f"max_steps must be positive, got {max_steps!r}")
+    current_spec = initial if initial is not None else space.default_spec()
+    cache: Dict[tuple, RankResult] = {}
+
+    def key(spec: ArchitectureSpec) -> tuple:
+        # TechnologyNode holds dicts (unhashable); key on the knobs.
+        return (
+            spec.local_pairs,
+            spec.semi_global_pairs,
+            spec.global_pairs,
+            spec.permittivity,
+            spec.miller_factor,
+        )
+
+    def solve(spec: ArchitectureSpec) -> RankResult:
+        k = key(spec)
+        if k not in cache:
+            cache[k] = _solve(problem, spec, solve_options, shielding_aware)
+        return cache[k]
+
+    trajectory = [CandidateResult(spec=current_spec, result=solve(current_spec))]
+    for _ in range(max_steps):
+        current = trajectory[-1]
+        best_move: Optional[CandidateResult] = None
+        for neighbour in space.neighbours(current.spec):
+            candidate = CandidateResult(spec=neighbour, result=solve(neighbour))
+            if best_move is None or candidate.result.rank > best_move.result.rank:
+                best_move = candidate
+        if best_move is None or best_move.result.rank <= current.result.rank:
+            break  # local optimum
+        trajectory.append(best_move)
+    return trajectory
+
+
+def optimize_architecture(
+    problem: RankProblem,
+    space: DesignSpace,
+    exhaustive_limit: int = 64,
+    shielding_aware: bool = False,
+    **solve_options,
+) -> OptimizationResult:
+    """Search a design space for the highest-rank architecture.
+
+    Spaces up to ``exhaustive_limit`` candidates are enumerated fully;
+    larger ones are hill-climbed from the space's smallest candidate.
+    ``shielding_aware=True`` charges each candidate's Miller factor its
+    shield-track cost (see :func:`shielding_capacity_factor`).
+
+    Returns
+    -------
+    OptimizationResult
+        Best candidate, all evaluations, and the rank-vs-layers Pareto
+        frontier.
+    """
+    size = space.size()
+    if size == 0:
+        raise RankComputationError("design space enumerates no candidates")
+    if size <= exhaustive_limit:
+        evaluated = evaluate_candidates(
+            problem, list(space), shielding_aware=shielding_aware, **solve_options
+        )
+    else:
+        evaluated = hill_climb(
+            problem, space, shielding_aware=shielding_aware, **solve_options
+        )
+    best = max(
+        evaluated, key=lambda c: (c.result.rank, -c.metal_layers)
+    )
+    return OptimizationResult(
+        best=best,
+        evaluated=tuple(evaluated),
+        pareto=tuple(pareto_front(evaluated)),
+    )

@@ -1,0 +1,33 @@
+"""Interconnect switching-power companion metric.
+
+The rank metric answers "how many connections meet timing"; a BEOL
+co-optimization (the paper's Section 6 conclusion) also needs to know
+what the architecture *costs in power*.  This package estimates the
+dynamic switching power of the delay-meeting prefix — the wires the
+rank certifies — from the same tables and witness the rank solver
+produces, so rank/power trade-off sweeps come for free.
+
+* :mod:`repro.power.model` — per-wire and per-witness switching energy
+  and power (``activity * f * C * V^2``), plus the rank-vs-power sweep
+  helper.
+
+Power never feeds back into rank computation: it is a reporting
+companion, mirroring how the paper treats crosstalk through the Miller
+factor only.
+"""
+
+from .model import (
+    PowerModel,
+    repeater_switching_energy,
+    sweep_rank_power,
+    wire_switching_energy,
+    witness_power,
+)
+
+__all__ = [
+    "PowerModel",
+    "wire_switching_energy",
+    "repeater_switching_energy",
+    "witness_power",
+    "sweep_rank_power",
+]

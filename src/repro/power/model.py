@@ -1,0 +1,201 @@
+"""Dynamic switching power of the delay-meeting prefix.
+
+First-order CMOS dynamic power: each transition charges the switched
+capacitance, so a node toggling with activity ``a`` at clock ``f``
+dissipates ``a * f * C * Vdd^2``.  For a wire of length ``l`` on
+layer-pair ``j`` driven through ``eta`` size-``s`` stages the switched
+capacitance is
+
+    C = c_j * l  +  eta * s * (c_o + c_p)
+
+(wire plus the stages' own input and parasitic capacitance).  Because
+the effective ``c_j`` already includes the Miller-scaled coupling
+share, the same knobs that buy rank (lower K, lower M) also buy power —
+quantified by :func:`sweep_rank_power`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.dp import WitnessSegment
+from ..core.problem import RankProblem
+from ..core.rank import RankResult, compute_rank
+from ..errors import RankComputationError
+from ..rc.models import WireRC
+from ..tech.device import DeviceParameters
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Switching-power assumptions.
+
+    Attributes
+    ----------
+    activity_factor:
+        Average transitions per node per cycle (0..1; the conventional
+        random-logic value is ~0.1-0.2).
+    supply_voltage:
+        Override for the node's nominal supply; ``None`` reads it from
+        the device parameters.
+    """
+
+    activity_factor: float = 0.15
+    supply_voltage: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.activity_factor <= 1.0:
+            raise RankComputationError(
+                f"activity factor must be in (0, 1], got {self.activity_factor!r}"
+            )
+        if self.supply_voltage is not None and self.supply_voltage <= 0:
+            raise RankComputationError(
+                f"supply voltage must be positive, got {self.supply_voltage!r}"
+            )
+
+    def vdd(self, device: DeviceParameters) -> float:
+        """Effective supply voltage for a device."""
+        return (
+            self.supply_voltage
+            if self.supply_voltage is not None
+            else device.supply_voltage
+        )
+
+
+def wire_switching_energy(
+    rc: WireRC, length: float, vdd: float
+) -> float:
+    """Energy per transition of the bare wire capacitance (joules)."""
+    if length < 0:
+        raise RankComputationError(f"length must be non-negative, got {length!r}")
+    if vdd <= 0:
+        raise RankComputationError(f"vdd must be positive, got {vdd!r}")
+    return rc.capacitance * length * vdd * vdd
+
+
+def repeater_switching_energy(
+    device: DeviceParameters, size: float, stages: int, vdd: float
+) -> float:
+    """Energy per transition of ``stages`` size-``size`` stages (joules)."""
+    if stages < 0:
+        raise RankComputationError(f"stages must be non-negative, got {stages!r}")
+    if size <= 0:
+        raise RankComputationError(f"size must be positive, got {size!r}")
+    device_cap = size * (device.input_capacitance + device.parasitic_capacitance)
+    return stages * device_cap * vdd * vdd
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Switching power of a rank witness.
+
+    Attributes
+    ----------
+    wire_power:
+        Power switched in wire capacitance, watts.
+    repeater_power:
+        Power switched in repeater (and upsized driver) devices, watts.
+    wires:
+        Wires covered (the rank).
+    """
+
+    wire_power: float
+    repeater_power: float
+    wires: int
+
+    @property
+    def total(self) -> float:
+        """Total prefix switching power, watts."""
+        return self.wire_power + self.repeater_power
+
+    def per_wire(self) -> float:
+        """Average power per certified wire, watts."""
+        return self.total / self.wires if self.wires else 0.0
+
+
+def witness_power(
+    tables,
+    witness: Sequence[WitnessSegment],
+    clock_frequency: float,
+    model: Optional[PowerModel] = None,
+) -> PowerBreakdown:
+    """Switching power of the delay-meeting prefix of a rank solution.
+
+    Parameters
+    ----------
+    tables:
+        The :class:`~repro.assign.tables.AssignmentTables` the solution
+        was computed on.
+    witness:
+        The DP witness (``compute_rank(..., collect_witness=True)``).
+    clock_frequency:
+        Clock the activity factor applies to, hertz.
+    model:
+        Power assumptions; defaults to ``PowerModel()``.
+    """
+    if clock_frequency <= 0:
+        raise RankComputationError(
+            f"clock frequency must be positive, got {clock_frequency!r}"
+        )
+    model = model or PowerModel()
+    device = tables.die.node.device
+    vdd = model.vdd(device)
+    scale = model.activity_factor * clock_frequency
+
+    wire_energy = 0.0
+    device_energy = 0.0
+    wires = 0
+    for segment in witness:
+        pair = segment.pair
+        lengths = tables.lengths_m[segment.start_group: segment.end_group]
+        counts = tables.counts[segment.start_group: segment.end_group]
+        rc_cap = tables.arch.pair(pair).rc.capacitance
+        wire_energy += float(np.dot(lengths, counts)) * rc_cap * vdd * vdd
+        stages = tables.stages[pair][segment.start_group: segment.end_group]
+        charged = np.where(stages > 0, stages, 0)
+        device_cap = float(tables.repeater_size[pair]) * (
+            device.input_capacitance + device.parasitic_capacitance
+        )
+        device_energy += float(np.dot(charged, counts)) * device_cap * vdd * vdd
+        wires += int(counts.sum())
+
+    return PowerBreakdown(
+        wire_power=scale * wire_energy,
+        repeater_power=scale * device_energy,
+        wires=wires,
+    )
+
+
+def sweep_rank_power(
+    problems: Sequence[Tuple[float, RankProblem]],
+    model: Optional[PowerModel] = None,
+    bunch_size: Optional[int] = None,
+    repeater_units: int = 512,
+) -> List[Tuple[float, RankResult, PowerBreakdown]]:
+    """Rank and prefix power across a family of problems.
+
+    ``problems`` is a list of ``(knob_value, problem)`` pairs (as built
+    by the Table 4 sweep helpers); each is solved with a witness and
+    priced.  Returns ``(knob_value, rank_result, power)`` rows, the raw
+    material for rank-vs-power trade-off plots.
+    """
+    rows: List[Tuple[float, RankResult, PowerBreakdown]] = []
+    for value, problem in problems:
+        result = compute_rank(
+            problem,
+            bunch_size=bunch_size,
+            repeater_units=repeater_units,
+            collect_witness=True,
+        )
+        tables, _ = problem.tables(bunch_size=bunch_size)
+        power = witness_power(
+            tables,
+            result.witness or (),
+            clock_frequency=problem.clock_frequency,
+            model=model,
+        )
+        rows.append((value, result, power))
+    return rows

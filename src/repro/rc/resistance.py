@@ -1,0 +1,37 @@
+"""Wire resistance per unit length.
+
+A wire on a layer-pair has rectangular cross-section width x thickness;
+its resistance per unit length is ``rho / (W * T)`` with the conductor's
+effective resistivity.  The paper folds all resistance dependence of the
+delay model into this single r-bar per layer-pair.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..tech.materials import Conductor
+from ..tech.node import MetalRule
+
+
+def resistance_per_length(rule: MetalRule, conductor: Conductor) -> float:
+    """Resistance per unit length (ohms/metre) of a wire on a tier.
+
+    Parameters
+    ----------
+    rule:
+        Geometry of the tier (width and thickness are used).
+    conductor:
+        Wiring material supplying the effective resistivity.
+
+    Returns
+    -------
+    float
+        ``rho / (width * thickness)`` in ohms per metre.
+    """
+    area = rule.min_width * rule.thickness
+    if area <= 0:
+        raise ConfigurationError(
+            f"wire cross-section must be positive, got width={rule.min_width!r} "
+            f"thickness={rule.thickness!r}"
+        )
+    return conductor.resistivity / area

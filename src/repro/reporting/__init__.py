@@ -1,0 +1,26 @@
+"""Report formatting: Table-4-style text tables, persistence, witnesses."""
+
+from .persist import load_rank_result, load_sweep, save_rank_result, save_sweep
+from .tables import (
+    format_equivalence_table,
+    format_node_table,
+    format_sweep_table,
+    sweep_to_csv,
+)
+from .text import format_table
+from .witness import PairUsage, assignment_usage, format_assignment_report
+
+__all__ = [
+    "format_table",
+    "format_sweep_table",
+    "format_equivalence_table",
+    "format_node_table",
+    "sweep_to_csv",
+    "save_rank_result",
+    "load_rank_result",
+    "save_sweep",
+    "load_sweep",
+    "PairUsage",
+    "assignment_usage",
+    "format_assignment_report",
+]

@@ -1,0 +1,155 @@
+"""Experiment persistence: JSON round-trips for results and sweeps.
+
+Reproduction runs are cheap but not free; persisting results lets the
+benchmark harness, notebooks and CI diff runs against recorded ones.
+The format is versioned, flat JSON — stable across refactors of the
+in-memory dataclasses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..analysis.sweep import SweepPoint, SweepResult
+from ..core.dp import SolverStats, WitnessSegment
+from ..core.rank import RankResult
+from ..errors import ReproError
+
+PathLike = Union[str, Path]
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def _result_to_dict(result: RankResult) -> dict:
+    payload = {
+        "rank": result.rank,
+        "normalized": result.normalized,
+        "total_wires": result.total_wires,
+        "fits": result.fits,
+        "error_bound": result.error_bound,
+        "solver": result.solver,
+        "stats": {
+            "solver": result.stats.solver,
+            "states_explored": result.stats.states_explored,
+            "transitions": result.stats.transitions,
+            "pack_checks": result.stats.pack_checks,
+            "pack_successes": result.stats.pack_successes,
+            "runtime_seconds": result.stats.runtime_seconds,
+        },
+    }
+    if result.witness is not None:
+        payload["witness"] = [
+            {
+                "pair": s.pair,
+                "start_group": s.start_group,
+                "end_group": s.end_group,
+                "repeater_cells": s.repeater_cells,
+                "repeaters": s.repeaters,
+            }
+            for s in result.witness
+        ]
+    return payload
+
+
+def _result_from_dict(payload: dict) -> RankResult:
+    try:
+        stats_data = payload["stats"]
+        stats = SolverStats(
+            solver=stats_data["solver"],
+            states_explored=stats_data["states_explored"],
+            transitions=stats_data["transitions"],
+            pack_checks=stats_data["pack_checks"],
+            pack_successes=stats_data["pack_successes"],
+            runtime_seconds=stats_data["runtime_seconds"],
+        )
+        witness = None
+        if "witness" in payload:
+            witness = tuple(
+                WitnessSegment(
+                    pair=s["pair"],
+                    start_group=s["start_group"],
+                    end_group=s["end_group"],
+                    repeater_cells=s["repeater_cells"],
+                    repeaters=s["repeaters"],
+                )
+                for s in payload["witness"]
+            )
+        return RankResult(
+            rank=payload["rank"],
+            normalized=payload["normalized"],
+            total_wires=payload["total_wires"],
+            fits=payload["fits"],
+            error_bound=payload["error_bound"],
+            solver=payload["solver"],
+            stats=stats,
+            witness=witness,
+        )
+    except KeyError as exc:
+        raise ReproError(f"malformed rank-result payload: missing {exc}") from exc
+
+
+def save_rank_result(result: RankResult, path: PathLike) -> None:
+    """Write one rank result (witness included if present) to JSON."""
+    payload = {
+        "format": "repro.rank_result",
+        "version": FORMAT_VERSION,
+        "result": _result_to_dict(result),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_rank_result(path: PathLike) -> RankResult:
+    """Read a rank result written by :func:`save_rank_result`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro.rank_result":
+        raise ReproError(f"{path}: not a rank-result file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported version {payload.get('version')!r}"
+        )
+    return _result_from_dict(payload["result"])
+
+
+def save_sweep(sweep: SweepResult, path: PathLike) -> None:
+    """Write a sweep (all points, paper values included) to JSON."""
+    payload = {
+        "format": "repro.sweep",
+        "version": FORMAT_VERSION,
+        "name": sweep.name,
+        "points": [
+            {
+                "value": point.value,
+                "paper_normalized": point.paper_normalized,
+                "result": _result_to_dict(point.result),
+            }
+            for point in sweep.points
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_sweep(path: PathLike) -> SweepResult:
+    """Read a sweep written by :func:`save_sweep`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro.sweep":
+        raise ReproError(f"{path}: not a sweep file")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported version {payload.get('version')!r}"
+        )
+    points = tuple(
+        SweepPoint(
+            value=point["value"],
+            result=_result_from_dict(point["result"]),
+            paper_normalized=point.get("paper_normalized"),
+        )
+        for point in payload["points"]
+    )
+    return SweepResult(name=payload["name"], points=points)

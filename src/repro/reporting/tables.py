@@ -1,0 +1,106 @@
+"""Paper-shaped report tables.
+
+These formatters turn analysis results into the same row/column shapes
+the paper prints, with a reproduction column next to the paper column
+where paper data exists — the exact output EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List, Sequence
+
+from ..analysis.compare import NodeBaseline
+from ..analysis.sensitivity import EquivalencePoint
+from ..analysis.sweep import SweepResult
+from .text import format_table
+
+#: Human-readable labels for the Table 4 knobs.
+KNOB_LABELS = {
+    "K": "ILD permittivity",
+    "M": "Miller coupling factor",
+    "C": "target clock frequency [Hz]",
+    "R": "max repeater fraction of die area",
+}
+
+
+def format_sweep_table(sweep: SweepResult, title: str = "") -> str:
+    """Table 4-style column: knob value, reproduced rank, paper rank."""
+    label = KNOB_LABELS.get(sweep.name, sweep.name)
+    rows: List[Sequence[object]] = []
+    for point in sweep.points:
+        value = (
+            f"{point.value:.2e}" if abs(point.value) >= 1e4 else f"{point.value:.2f}"
+        )
+        paper = (
+            f"{point.paper_normalized:.6f}"
+            if point.paper_normalized is not None
+            else "-"
+        )
+        rows.append((value, f"{point.normalized:.6f}", paper))
+    return format_table(
+        headers=(label, "normalized rank (repro)", "normalized rank (paper)"),
+        rows=rows,
+        title=title or f"Table 4, column {sweep.name}",
+    )
+
+
+def format_equivalence_table(
+    points: Sequence[EquivalencePoint],
+    knob_a: str = "K",
+    knob_b: str = "M",
+    title: str = "",
+) -> str:
+    """Headline equivalence: %reductions of two knobs per rank level."""
+    rows: List[Sequence[object]] = []
+    for point in points:
+        ra = "-" if point.reduction_a is None else f"{100 * point.reduction_a:.1f}%"
+        rb = "-" if point.reduction_b is None else f"{100 * point.reduction_b:.1f}%"
+        ratio = "-" if point.ratio is None else f"{point.ratio:.3f}"
+        rows.append((f"{point.rank_level:.4f}", ra, rb, ratio))
+    return format_table(
+        headers=(
+            "rank level",
+            f"{knob_a} reduction",
+            f"{knob_b} reduction",
+            f"{knob_b}/{knob_a}",
+        ),
+        rows=rows,
+        title=title or f"Equivalent {knob_a} vs {knob_b} reductions",
+    )
+
+
+def format_node_table(baselines: Sequence[NodeBaseline], title: str = "") -> str:
+    """Cross-node baseline comparison rows."""
+    rows: List[Sequence[object]] = []
+    for base in baselines:
+        rows.append(
+            (
+                f"{base.node_name}/{base.gate_count / 1e6:g}M",
+                base.result.rank,
+                f"{base.normalized:.6f}",
+                "yes" if base.result.fits else "NO",
+            )
+        )
+    return format_table(
+        headers=("design", "rank", "normalized", "fits"),
+        rows=rows,
+        title=title or "Baseline rank per technology node",
+    )
+
+
+def sweep_to_csv(sweep: SweepResult) -> str:
+    """CSV dump of a sweep (knob, repro rank, paper rank)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([sweep.name, "normalized_rank_repro", "normalized_rank_paper"])
+    for point in sweep.points:
+        writer.writerow(
+            [
+                repr(point.value),
+                f"{point.normalized:.6f}",
+                "" if point.paper_normalized is None else f"{point.paper_normalized:.6f}",
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,166 @@
+"""Full assignment reports: where every wire of the WLD ended up.
+
+Combines the DP witness (the delay-meeting prefix, per layer-pair) with
+a re-run of the M'' packer (the delay-free suffix placement) into one
+layer-by-layer table: wires, repeaters, and routing-area utilization per
+pair.  This is the "show me the embedding" view a designer wants after
+reading a single rank number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..assign.greedy_assign import pack_suffix_detail
+from ..assign.tables import AssignmentTables
+from ..core.rank import RankResult
+from ..errors import RankComputationError
+from .text import format_table
+
+
+@dataclass(frozen=True)
+class PairUsage:
+    """Aggregate usage of one layer-pair in a full assignment.
+
+    Attributes
+    ----------
+    pair:
+        0-based index from the top.
+    name:
+        Layer-pair display name.
+    prefix_wires:
+        Delay-meeting wires assigned here.
+    suffix_wires:
+        Delay-free wires packed here.
+    repeaters:
+        Repeaters physically inserted in this pair's wires.
+    area_used:
+        Routing area consumed (both kinds of wires), square metres.
+    capacity:
+        Blockage-adjusted routing capacity of the pair, square metres.
+    """
+
+    pair: int
+    name: str
+    prefix_wires: int
+    suffix_wires: int
+    repeaters: int
+    area_used: float
+    capacity: float
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pair's capacity in use."""
+        return self.area_used / self.capacity if self.capacity > 0 else 0.0
+
+
+def assignment_usage(
+    tables: AssignmentTables, result: RankResult
+) -> List[PairUsage]:
+    """Reconstruct per-pair usage from a witnessed rank result.
+
+    Requires ``result.witness`` (run ``compute_rank`` with
+    ``collect_witness=True``); re-runs the bottom-up packer for the
+    suffix placement.
+    """
+    if result.witness is None:
+        raise RankComputationError(
+            "assignment report needs a witness; run compute_rank with "
+            "collect_witness=True"
+        )
+
+    usage = {
+        pair: dict(prefix=0, suffix=0, repeaters=0, area=0.0)
+        for pair in range(tables.num_pairs)
+    }
+    wires_above = 0
+    repeaters_above = 0.0
+    top_pair = 0
+    leftover = tables.capacity(0, 0, 0)
+    for segment in result.witness:
+        pair_usage = usage[segment.pair]
+        wires = int(
+            tables.cum_wires[segment.end_group]
+            - tables.cum_wires[segment.start_group]
+        )
+        area = float(
+            tables.cum_wire_area[segment.pair][segment.end_group]
+            - tables.cum_wire_area[segment.pair][segment.start_group]
+        )
+        capacity = tables.capacity(segment.pair, wires_above, repeaters_above)
+        pair_usage["prefix"] += wires
+        pair_usage["repeaters"] += segment.repeaters
+        pair_usage["area"] += area
+        wires_above = int(tables.cum_wires[segment.end_group])
+        repeaters_above += segment.repeaters
+        top_pair = segment.pair
+        leftover = capacity - area
+
+    suffix_start = result.witness[-1].end_group if result.witness else 0
+    fills = pack_suffix_detail(
+        tables,
+        suffix_start,
+        top_pair,
+        wires_above,
+        repeaters_above,
+        top_pair_leftover=leftover,
+    )
+    if fills is None:
+        raise RankComputationError(
+            "witnessed prefix exists but its suffix no longer packs — "
+            "tables and result are inconsistent"
+        )
+    for fill in fills:
+        usage[fill.pair]["suffix"] += fill.wires
+        usage[fill.pair]["area"] += fill.area_used
+
+    report: List[PairUsage] = []
+    wires_above = 0
+    repeaters_so_far = 0.0
+    for pair in range(tables.num_pairs):
+        data = usage[pair]
+        capacity = tables.capacity(pair, wires_above, repeaters_so_far)
+        report.append(
+            PairUsage(
+                pair=pair,
+                name=tables.arch.pair(pair).name,
+                prefix_wires=data["prefix"],
+                suffix_wires=data["suffix"],
+                repeaters=data["repeaters"],
+                area_used=data["area"],
+                capacity=capacity,
+            )
+        )
+        wires_above += data["prefix"] + data["suffix"]
+        repeaters_so_far += data["repeaters"]
+    return report
+
+
+def format_assignment_report(
+    tables: AssignmentTables, result: RankResult, title: str = ""
+) -> str:
+    """Human-readable layer-by-layer assignment table."""
+    usage = assignment_usage(tables, result)
+    rows: List[Sequence[object]] = []
+    for entry in usage:
+        rows.append(
+            (
+                entry.name,
+                f"{entry.prefix_wires:,}",
+                f"{entry.suffix_wires:,}",
+                f"{entry.repeaters:,}",
+                f"{entry.utilization * 100:.1f}%",
+            )
+        )
+    return format_table(
+        (
+            "layer-pair",
+            "delay-met wires",
+            "other wires",
+            "repeaters",
+            "area used",
+        ),
+        rows,
+        title=title or f"Assignment for rank {result.rank:,}",
+    )

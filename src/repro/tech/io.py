@@ -1,0 +1,145 @@
+"""Technology node serialization.
+
+Lets users define their own process nodes in JSON instead of Python —
+the adoption surface for evaluating a foundry stack the presets do not
+cover.  The schema mirrors the dataclasses one-to-one; all geometry is
+in metres and capacitances in farads (use explicit exponents in the
+file: ``160e-9``).
+
+Example (abridged)::
+
+    {
+      "name": "65nm-custom",
+      "feature_size": 65e-9,
+      "conductor": {"name": "copper", "resistivity": 2.2e-8},
+      "dielectric": {"name": "OSG", "relative_permittivity": 2.8},
+      "device": {"output_resistance": 2000.0, "input_capacitance": 4e-16,
+                 "parasitic_capacitance": 3e-16,
+                 "min_inverter_area": 6.3e-15, "supply_voltage": 1.0},
+      "metal_rules": {"local": {"min_width": 9e-8, ...}, ...},
+      "via_rules": {"local": {"min_width": 9e-8, "enclosure": 2e-8}, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import ConfigurationError
+from .device import DeviceParameters
+from .materials import Conductor, Dielectric
+from .node import MetalRule, TechnologyNode, ViaRule
+
+PathLike = Union[str, Path]
+
+
+def node_to_dict(node: TechnologyNode) -> dict:
+    """Serialize a node to a plain JSON-ready dictionary."""
+    return {
+        "name": node.name,
+        "feature_size": node.feature_size,
+        "gate_pitch_factor": node.gate_pitch_factor,
+        "conductor": {
+            "name": node.conductor.name,
+            "resistivity": node.conductor.resistivity,
+        },
+        "dielectric": {
+            "name": node.dielectric.name,
+            "relative_permittivity": node.dielectric.relative_permittivity,
+        },
+        "device": {
+            "output_resistance": node.device.output_resistance,
+            "input_capacitance": node.device.input_capacitance,
+            "parasitic_capacitance": node.device.parasitic_capacitance,
+            "min_inverter_area": node.device.min_inverter_area,
+            "supply_voltage": node.device.supply_voltage,
+        },
+        "metal_rules": {
+            tier: {
+                "min_width": rule.min_width,
+                "min_spacing": rule.min_spacing,
+                "thickness": rule.thickness,
+                "ild_height": rule.ild_height,
+            }
+            for tier, rule in node.metal_rules.items()
+        },
+        "via_rules": {
+            tier: {"min_width": rule.min_width, "enclosure": rule.enclosure}
+            for tier, rule in node.via_rules.items()
+        },
+    }
+
+
+def node_from_dict(payload: dict) -> TechnologyNode:
+    """Deserialize a node; raises ConfigurationError on malformed input."""
+    try:
+        metal_rules = {
+            tier: MetalRule(
+                min_width=rule["min_width"],
+                min_spacing=rule["min_spacing"],
+                thickness=rule["thickness"],
+                ild_height=rule.get("ild_height", 0.0),
+            )
+            for tier, rule in payload["metal_rules"].items()
+        }
+        via_rules = {
+            tier: ViaRule(
+                min_width=rule["min_width"],
+                enclosure=rule.get("enclosure", 0.0),
+            )
+            for tier, rule in payload["via_rules"].items()
+        }
+        device_data = payload["device"]
+        device = DeviceParameters(
+            output_resistance=device_data["output_resistance"],
+            input_capacitance=device_data["input_capacitance"],
+            parasitic_capacitance=device_data["parasitic_capacitance"],
+            min_inverter_area=device_data["min_inverter_area"],
+            supply_voltage=device_data.get("supply_voltage", 1.2),
+        )
+        conductor_data = payload["conductor"]
+        dielectric_data = payload["dielectric"]
+        return TechnologyNode(
+            name=payload["name"],
+            feature_size=payload["feature_size"],
+            metal_rules=metal_rules,
+            via_rules=via_rules,
+            device=device,
+            conductor=Conductor(
+                name=conductor_data["name"],
+                resistivity=conductor_data["resistivity"],
+            ),
+            dielectric=Dielectric(
+                name=dielectric_data["name"],
+                relative_permittivity=dielectric_data["relative_permittivity"],
+            ),
+            gate_pitch_factor=payload.get("gate_pitch_factor", 12.6),
+        )
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"malformed technology-node payload: missing {exc}"
+        ) from exc
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"malformed technology-node payload: {exc}"
+        ) from exc
+
+
+def save_node(node: TechnologyNode, path: PathLike) -> None:
+    """Write a node description to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(node_to_dict(node), handle, indent=2)
+
+
+def load_node(path: PathLike) -> TechnologyNode:
+    """Read a node description from a JSON file."""
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"{path}: expected a JSON object")
+    return node_from_dict(payload)

@@ -1,0 +1,95 @@
+"""ITRS-style node projection.
+
+The paper's Section 6 goal — "evaluating ITRS and foundry BEOL
+architectures" — needs nodes beyond the Table 3 trio.  This module
+projects a preset node forward by ideal-scaling rules, giving
+plausible 65/45/32 nm-class stand-ins for roadmap studies:
+
+* all metal/via geometry scales by the linear factor ``s`` (default
+  0.7 per generation — the classic ITRS shrink);
+* device resistance is held (constant-field scaling keeps drive
+  resistance roughly flat), capacitances scale by ``s``, device area by
+  ``s²``, supply by ``s^0.5`` (the historical slower-than-ideal Vdd
+  walk);
+* materials carry over (swap them separately via
+  ``TechnologyNode.with_dielectric``).
+
+Projection is a modelling convenience, clearly labelled in the node
+name; it makes no claim to match any real 65 nm process.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigurationError
+from .device import DeviceParameters
+from .node import TechnologyNode, ViaRule
+
+#: Classic ITRS linear shrink per generation.
+DEFAULT_SHRINK = 0.7
+
+
+def project_node(
+    base: TechnologyNode,
+    generations: int = 1,
+    shrink: float = DEFAULT_SHRINK,
+) -> TechnologyNode:
+    """Project a node ``generations`` steps down the roadmap.
+
+    Parameters
+    ----------
+    base:
+        Starting node (e.g. the 90 nm preset).
+    generations:
+        Number of shrink steps (>= 1).
+    shrink:
+        Linear scale factor per generation, in (0, 1).
+    """
+    if generations < 1:
+        raise ConfigurationError(
+            f"generations must be >= 1, got {generations!r}"
+        )
+    if not 0.0 < shrink < 1.0:
+        raise ConfigurationError(f"shrink must be in (0, 1), got {shrink!r}")
+
+    s = shrink ** generations
+    feature = base.feature_size * s
+    name = f"{feature / 1e-9:.0f}nm-projected"
+
+    metal_rules = {
+        tier: rule.scaled(s) for tier, rule in base.metal_rules.items()
+    }
+    via_rules = {
+        tier: ViaRule(
+            min_width=rule.min_width * s, enclosure=rule.enclosure * s
+        )
+        for tier, rule in base.via_rules.items()
+    }
+    device = DeviceParameters(
+        output_resistance=base.device.output_resistance,
+        input_capacitance=base.device.input_capacitance * s,
+        parasitic_capacitance=base.device.parasitic_capacitance * s,
+        min_inverter_area=base.device.min_inverter_area * s * s,
+        supply_voltage=base.device.supply_voltage * s ** 0.5,
+    )
+    return TechnologyNode(
+        name=name,
+        feature_size=feature,
+        metal_rules=metal_rules,
+        via_rules=via_rules,
+        device=device,
+        conductor=base.conductor,
+        dielectric=base.dielectric,
+        gate_pitch_factor=base.gate_pitch_factor,
+    )
+
+
+def roadmap_nodes(
+    base: TechnologyNode, generations: int, shrink: float = DEFAULT_SHRINK
+) -> List[TechnologyNode]:
+    """The base node followed by ``generations`` projected successors."""
+    nodes = [base]
+    for g in range(1, generations + 1):
+        nodes.append(project_node(base, generations=g, shrink=shrink))
+    return nodes

@@ -1,0 +1,188 @@
+"""The Davis--De--Meindl stochastic wire length distribution.
+
+This is the WLD model the paper uses (its reference [4]: J. A. Davis,
+V. K. De, J. D. Meindl, "A Stochastic Wire-length Distribution for
+Gigascale Integration (GSI) — Part 1", IEEE TED 45(3), 1998).
+
+For a square array of ``N`` gates with Rent exponent ``p``, Rent
+coefficient ``k`` and average fanout ``f.o.`` (``alpha = f.o./(f.o.+1)``),
+the expected number of point-to-point interconnects of length ``l``
+(in gate pitches) is
+
+* Region I  (``1 <= l < sqrt(N)``):
+  ``i(l) = Gamma * (alpha*k/2) * (l^3/3 - 2*sqrt(N)*l^2 + 2*N*l) * l^(2p-4)``
+* Region II (``sqrt(N) <= l <= 2*sqrt(N) - 2``):
+  ``i(l) = Gamma * (alpha*k/6) * (2*sqrt(N) - l)^3 * l^(2p-4)``
+
+The normalization ``Gamma`` is fixed so the density integrates to the
+design's expected total connection count
+``alpha*k*N*(1 - N^(p-1))`` (see :func:`repro.wld.rent.total_connections`).
+We evaluate the density on the integer lengths ``1..2*sqrt(N)-2`` and
+round to integer counts with a largest-remainder scheme so the total wire
+count is preserved exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WLDError
+from .distribution import WireLengthDistribution
+from .rent import (
+    DEFAULT_FANOUT,
+    DEFAULT_RENT_COEFFICIENT,
+    DEFAULT_RENT_EXPONENT,
+    fanout_fraction,
+    total_connections,
+)
+
+
+@dataclass(frozen=True)
+class DavisParameters:
+    """Inputs of the Davis WLD model.
+
+    Attributes
+    ----------
+    gate_count:
+        Number of gates ``N`` (the paper uses 1M, 4M and 10M).
+    rent_exponent:
+        Rent exponent ``p`` (the paper uses 0.6 everywhere).
+    rent_coefficient:
+        Rent coefficient ``k`` (terminals per gate, default 4).
+    fanout:
+        Average point-to-point fanout (default 3, giving alpha = 0.75).
+    """
+
+    gate_count: int
+    rent_exponent: float = DEFAULT_RENT_EXPONENT
+    rent_coefficient: float = DEFAULT_RENT_COEFFICIENT
+    fanout: float = DEFAULT_FANOUT
+
+    def __post_init__(self) -> None:
+        if self.gate_count < 4:
+            raise WLDError(
+                f"Davis model needs at least 4 gates, got {self.gate_count!r}"
+            )
+        if not 0.0 < self.rent_exponent < 1.0:
+            raise WLDError(
+                f"Rent exponent must be in (0, 1), got {self.rent_exponent!r}"
+            )
+        if self.rent_coefficient <= 0:
+            raise WLDError(
+                f"Rent coefficient must be positive, got {self.rent_coefficient!r}"
+            )
+        if self.fanout <= 0:
+            raise WLDError(f"fanout must be positive, got {self.fanout!r}")
+
+    @property
+    def max_length(self) -> int:
+        """Longest possible Manhattan length, ``2*sqrt(N) - 2`` pitches."""
+        side = int(math.floor(math.sqrt(self.gate_count)))
+        return max(1, 2 * side - 2)
+
+    @property
+    def expected_total(self) -> float:
+        """Expected total point-to-point connection count."""
+        return total_connections(
+            self.gate_count,
+            self.rent_coefficient,
+            self.rent_exponent,
+            self.fanout,
+        )
+
+
+def davis_density(params: DavisParameters) -> np.ndarray:
+    """Unnormalized Davis density ``i(l)`` at integer lengths.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``density[l - 1]`` is the *relative* expected count of wires of
+        length ``l`` pitches for ``l = 1 .. params.max_length``.  Use
+        :func:`davis_wld` for the normalized integer-count distribution.
+    """
+    n = float(params.gate_count)
+    p = params.rent_exponent
+    alpha = fanout_fraction(params.fanout)
+    k = params.rent_coefficient
+    sqrt_n = math.sqrt(n)
+
+    lengths = np.arange(1, params.max_length + 1, dtype=float)
+    power = lengths ** (2.0 * p - 4.0)
+
+    region1 = (alpha * k / 2.0) * (
+        lengths ** 3 / 3.0 - 2.0 * sqrt_n * lengths ** 2 + 2.0 * n * lengths
+    ) * power
+    region2 = (alpha * k / 6.0) * np.clip(2.0 * sqrt_n - lengths, 0.0, None) ** 3 * power
+
+    density = np.where(lengths < sqrt_n, region1, region2)
+    # Region I's cubic can dip negative just below sqrt(N) for tiny N;
+    # the physical density is non-negative.
+    return np.clip(density, 0.0, None)
+
+
+def _largest_remainder_round(values: np.ndarray, target_total: int) -> np.ndarray:
+    """Round non-negative floats to ints preserving the exact total.
+
+    Floors every value, then hands out the remaining units to the largest
+    fractional parts (ties broken toward longer wires, i.e. higher index,
+    so the critical long tail is never starved).
+    """
+    if target_total < 0:
+        raise WLDError(f"target total must be non-negative, got {target_total!r}")
+    floors = np.floor(values).astype(np.int64)
+    deficit = int(target_total - floors.sum())
+    if deficit < 0:
+        # Rounding target below the floor sum can only happen if the
+        # caller scaled inconsistently; trim from the smallest fractions.
+        order = np.argsort(values - floors)
+        for index in order:
+            if deficit == 0:
+                break
+            if floors[index] > 0:
+                floors[index] -= 1
+                deficit += 1
+        return floors
+    if deficit > 0:
+        fractions = values - floors
+        # argsort is ascending; take the largest fractions, preferring
+        # higher indices (longer wires) on ties by sorting on
+        # (fraction, index).
+        order = np.lexsort((np.arange(values.size), fractions))
+        for index in order[::-1][:deficit]:
+            floors[index] += 1
+    return floors
+
+
+def davis_wld(params: DavisParameters) -> WireLengthDistribution:
+    """Generate the integer-count Davis WLD for a design.
+
+    The density is evaluated at integer lengths ``1 .. 2*sqrt(N)-2``,
+    normalized to the design's expected total connection count, and
+    rounded to integers with total preservation.  Lengths whose rounded
+    count is zero are dropped (the extreme tail).
+
+    Returns
+    -------
+    WireLengthDistribution
+        Lengths in gate pitches, rank (non-increasing length) order.
+    """
+    density = davis_density(params)
+    total = density.sum()
+    if total <= 0:
+        raise WLDError("Davis density integrated to zero; check parameters")
+    expected = params.expected_total
+    scaled = density * (expected / total)
+    counts = _largest_remainder_round(scaled, int(round(expected)))
+
+    lengths = np.arange(1, params.max_length + 1, dtype=float)
+    keep = counts > 0
+    if not np.any(keep):
+        raise WLDError("Davis WLD rounded to zero wires; gate count too small")
+    # Reverse into non-increasing length order.
+    return WireLengthDistribution(
+        lengths=lengths[keep][::-1].copy(), counts=counts[keep][::-1].copy()
+    )

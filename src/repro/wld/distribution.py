@@ -1,0 +1,270 @@
+"""The discrete wire length distribution.
+
+A :class:`WireLengthDistribution` is a sequence of *groups*
+``(length, count)`` with lengths in **gate pitches** (dimensionless; the
+die model converts to metres) held in non-increasing length order.  That
+order *is* the paper's rank order (Definition 1: the rank of a wire is
+its index in the WLD sorted by non-increasing length), so "the first
+``i`` wires" always means the ``i`` longest.
+
+Groups with equal lengths may repeat (bunching produces that); counts are
+positive integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import WLDError
+
+
+@dataclass(frozen=True)
+class WireLengthDistribution:
+    """Length-sorted wire groups.
+
+    Attributes
+    ----------
+    lengths:
+        Group lengths in gate pitches, non-increasing.  Float-valued so
+        that binning (which replaces a group by its mean length) stays
+        exact.
+    counts:
+        Positive integer wire count per group.
+    """
+
+    lengths: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        lengths = np.asarray(self.lengths, dtype=float)
+        counts = np.asarray(self.counts, dtype=np.int64)
+        if lengths.ndim != 1 or counts.ndim != 1:
+            raise WLDError("lengths and counts must be one-dimensional")
+        if lengths.shape != counts.shape:
+            raise WLDError(
+                f"lengths and counts must have equal size, got "
+                f"{lengths.shape} vs {counts.shape}"
+            )
+        if lengths.size and np.any(lengths <= 0):
+            raise WLDError("all wire lengths must be positive")
+        if counts.size and np.any(counts <= 0):
+            raise WLDError("all group counts must be positive integers")
+        if lengths.size > 1 and np.any(np.diff(lengths) > 0):
+            raise WLDError("lengths must be non-increasing (rank order)")
+        lengths.setflags(write=False)
+        counts.setflags(write=False)
+        object.__setattr__(self, "lengths", lengths)
+        object.__setattr__(self, "counts", counts)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_groups(
+        cls, groups: Iterable[Tuple[float, int]]
+    ) -> "WireLengthDistribution":
+        """Build from ``(length, count)`` pairs in any order.
+
+        Pairs are sorted into rank order; groups with zero count are
+        dropped; duplicate lengths are merged.
+        """
+        filtered = [(float(l), int(c)) for l, c in groups if int(c) != 0]
+        for length, count in filtered:
+            if count < 0:
+                raise WLDError(f"negative count {count} for length {length}")
+        merged: dict = {}
+        for length, count in filtered:
+            merged[length] = merged.get(length, 0) + count
+        ordered = sorted(merged.items(), key=lambda item: -item[0])
+        lengths = np.array([l for l, _ in ordered], dtype=float)
+        counts = np.array([c for _, c in ordered], dtype=np.int64)
+        return cls(lengths=lengths, counts=counts)
+
+    @classmethod
+    def from_lengths(cls, lengths: Iterable[float]) -> "WireLengthDistribution":
+        """Build from raw per-wire lengths (each wire counted once)."""
+        values = sorted((float(l) for l in lengths), reverse=True)
+        if not values:
+            raise WLDError("cannot build a WLD from an empty length list")
+        return cls.from_groups((l, 1) for l in values)
+
+    @classmethod
+    def empty(cls) -> "WireLengthDistribution":
+        """The empty distribution (zero groups, zero wires)."""
+        return cls(
+            lengths=np.array([], dtype=float), counts=np.array([], dtype=np.int64)
+        )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        """Number of ``(length, count)`` groups."""
+        return int(self.lengths.size)
+
+    @property
+    def total_wires(self) -> int:
+        """The paper's ``n``: total number of wires."""
+        return int(self.counts.sum()) if self.counts.size else 0
+
+    @property
+    def total_length(self) -> float:
+        """Sum of all wire lengths, in gate pitches."""
+        if not self.lengths.size:
+            return 0.0
+        return float(np.dot(self.lengths, self.counts))
+
+    @property
+    def max_length(self) -> float:
+        """The paper's ``l_max`` (longest wire), in gate pitches."""
+        if not self.lengths.size:
+            raise WLDError("empty WLD has no maximum length")
+        return float(self.lengths[0])
+
+    @property
+    def min_length(self) -> float:
+        """Shortest wire length, in gate pitches."""
+        if not self.lengths.size:
+            raise WLDError("empty WLD has no minimum length")
+        return float(self.lengths[-1])
+
+    @property
+    def mean_length(self) -> float:
+        """Count-weighted mean wire length, in gate pitches."""
+        total = self.total_wires
+        if total == 0:
+            raise WLDError("empty WLD has no mean length")
+        return self.total_length / total
+
+    def __len__(self) -> int:
+        return self.num_groups
+
+    def __iter__(self) -> Iterator[Tuple[float, int]]:
+        for length, count in zip(self.lengths, self.counts):
+            yield float(length), int(count)
+
+    def group(self, index: int) -> Tuple[float, int]:
+        """The ``(length, count)`` group at a 0-based rank-order index."""
+        if not 0 <= index < self.num_groups:
+            raise WLDError(
+                f"group index {index} out of range for {self.num_groups} groups"
+            )
+        return float(self.lengths[index]), int(self.counts[index])
+
+    # ------------------------------------------------------------------
+    # Rank-order arithmetic
+    # ------------------------------------------------------------------
+
+    def cumulative_counts(self) -> np.ndarray:
+        """Cumulative wire counts in rank order.
+
+        ``cumulative_counts()[g]`` is the number of wires in groups
+        ``0..g`` inclusive — i.e. the rank of the last wire of group
+        ``g``.
+        """
+        return np.cumsum(self.counts)
+
+    def wires_in_first_groups(self, num_groups: int) -> int:
+        """Number of wires contained in the ``num_groups`` longest groups."""
+        if not 0 <= num_groups <= self.num_groups:
+            raise WLDError(
+                f"group prefix {num_groups} out of range for "
+                f"{self.num_groups} groups"
+            )
+        if num_groups == 0:
+            return 0
+        return int(self.counts[:num_groups].sum())
+
+    def length_at_rank(self, rank: int) -> float:
+        """Length of the wire at 1-based rank (1 = longest)."""
+        if not 1 <= rank <= self.total_wires:
+            raise WLDError(
+                f"rank {rank} out of range for {self.total_wires} wires"
+            )
+        cumulative = self.cumulative_counts()
+        group_index = int(np.searchsorted(cumulative, rank, side="left"))
+        return float(self.lengths[group_index])
+
+    def prefix(self, num_groups: int) -> "WireLengthDistribution":
+        """The sub-distribution of the ``num_groups`` longest groups."""
+        if not 0 <= num_groups <= self.num_groups:
+            raise WLDError(
+                f"group prefix {num_groups} out of range for "
+                f"{self.num_groups} groups"
+            )
+        return WireLengthDistribution(
+            lengths=self.lengths[:num_groups].copy(),
+            counts=self.counts[:num_groups].copy(),
+        )
+
+    def suffix(self, num_groups_skipped: int) -> "WireLengthDistribution":
+        """The sub-distribution after skipping the longest groups."""
+        if not 0 <= num_groups_skipped <= self.num_groups:
+            raise WLDError(
+                f"group prefix {num_groups_skipped} out of range for "
+                f"{self.num_groups} groups"
+            )
+        return WireLengthDistribution(
+            lengths=self.lengths[num_groups_skipped:].copy(),
+            counts=self.counts[num_groups_skipped:].copy(),
+        )
+
+    def scaled_lengths(self, factor: float) -> "WireLengthDistribution":
+        """Copy with every length multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise WLDError(f"length scale factor must be positive, got {factor!r}")
+        return WireLengthDistribution(
+            lengths=self.lengths * factor, counts=self.counts.copy()
+        )
+
+    def merged_equal_lengths(self) -> "WireLengthDistribution":
+        """Merge adjacent groups of identical length (undoes bunching)."""
+        return WireLengthDistribution.from_groups(iter(self))
+
+    # ------------------------------------------------------------------
+    # Statistics helpers used by reports and tests
+    # ------------------------------------------------------------------
+
+    def lengths_expanded(self, limit: int | None = None) -> np.ndarray:
+        """Per-wire lengths in rank order (optionally only the first
+        ``limit`` wires).  Memory-heavy for large WLDs; intended for
+        tests and small analyses."""
+        if limit is not None and limit < 0:
+            raise WLDError(f"limit must be non-negative, got {limit!r}")
+        out: List[np.ndarray] = []
+        remaining = self.total_wires if limit is None else min(limit, self.total_wires)
+        for length, count in self:
+            if remaining <= 0:
+                break
+            take = min(count, remaining)
+            out.append(np.full(take, length))
+            remaining -= take
+        if not out:
+            return np.array([], dtype=float)
+        return np.concatenate(out)
+
+    def percentile_length(self, fraction: float) -> float:
+        """Length at a given rank fraction (0 = longest, 1 = shortest)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise WLDError(f"fraction must be in [0, 1], got {fraction!r}")
+        total = self.total_wires
+        if total == 0:
+            raise WLDError("empty WLD has no percentiles")
+        rank = max(1, min(total, int(round(fraction * total)) or 1))
+        return self.length_at_rank(rank)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        if self.num_groups == 0:
+            return "WLD: empty"
+        return (
+            f"WLD: {self.total_wires} wires in {self.num_groups} groups, "
+            f"lengths [{self.min_length:g}, {self.max_length:g}] pitches, "
+            f"mean {self.mean_length:.3f}, total {self.total_length:.3g}"
+        )

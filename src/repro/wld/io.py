@@ -1,0 +1,79 @@
+"""WLD persistence: CSV and JSON round-trips.
+
+CSV format: header ``length,count`` followed by one row per group.
+JSON format: ``{"lengths": [...], "counts": [...]}``.
+Both store gate-pitch lengths and integer counts in rank order.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import WLDError
+from .distribution import WireLengthDistribution
+
+PathLike = Union[str, Path]
+
+
+def save_wld_csv(wld: WireLengthDistribution, path: PathLike) -> None:
+    """Write a WLD to CSV (``length,count`` header, rank order)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["length", "count"])
+        for length, count in wld:
+            writer.writerow([repr(length), count])
+
+
+def load_wld_csv(path: PathLike) -> WireLengthDistribution:
+    """Read a WLD from CSV written by :func:`save_wld_csv`."""
+    groups = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or [h.strip().lower() for h in header] != ["length", "count"]:
+            raise WLDError(
+                f"{path}: expected CSV header 'length,count', got {header!r}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise WLDError(f"{path}:{row_number}: expected two columns, got {row!r}")
+            try:
+                groups.append((float(row[0]), int(row[1])))
+            except ValueError as exc:
+                raise WLDError(f"{path}:{row_number}: {exc}") from exc
+    if not groups:
+        raise WLDError(f"{path}: no WLD rows found")
+    return WireLengthDistribution.from_groups(groups)
+
+
+def save_wld_json(wld: WireLengthDistribution, path: PathLike) -> None:
+    """Write a WLD to JSON (``lengths`` / ``counts`` arrays, rank order)."""
+    payload = {
+        "lengths": [float(l) for l in wld.lengths],
+        "counts": [int(c) for c in wld.counts],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_wld_json(path: PathLike) -> WireLengthDistribution:
+    """Read a WLD from JSON written by :func:`save_wld_json`."""
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise WLDError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "lengths" not in payload or "counts" not in payload:
+        raise WLDError(f"{path}: expected an object with 'lengths' and 'counts'")
+    lengths = payload["lengths"]
+    counts = payload["counts"]
+    if len(lengths) != len(counts):
+        raise WLDError(
+            f"{path}: lengths ({len(lengths)}) and counts ({len(counts)}) differ"
+        )
+    return WireLengthDistribution.from_groups(zip(lengths, counts))

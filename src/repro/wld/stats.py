@@ -1,0 +1,118 @@
+"""WLD statistics and comparison utilities.
+
+Rank studies constantly need the same handful of distribution facts:
+length-class shares (the C-column plateau values), cumulative-fraction
+tables, and a way to say *how different* two WLDs are (netlist-derived
+vs Davis, binned vs raw).  This module collects them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import WLDError
+from .distribution import WireLengthDistribution
+
+
+def share_at_least(wld: WireLengthDistribution, length: float) -> float:
+    """Fraction of wires with length >= the given value.
+
+    For the paper's 1M-gate WLD, ``share_at_least(wld, 3)`` is its
+    Table 4 C-column plateau 0.3097.
+    """
+    if wld.total_wires == 0:
+        raise WLDError("empty WLD has no shares")
+    mask = wld.lengths >= length
+    return float(wld.counts[mask].sum()) / wld.total_wires
+
+
+def length_class_table(
+    wld: WireLengthDistribution, max_rows: int = 10
+) -> List[Tuple[float, int, float]]:
+    """(length, count, cumulative share of wires >= length) rows.
+
+    Rows are emitted shortest-first for the ``max_rows`` most populous
+    length classes — the classes whose edges become rank plateaus.
+    """
+    if max_rows < 1:
+        raise WLDError(f"max_rows must be positive, got {max_rows!r}")
+    merged = wld.merged_equal_lengths()
+    total = merged.total_wires
+    # cumulative from the long end: share of wires >= each length
+    cum = np.cumsum(merged.counts)
+    rows = [
+        (float(length), int(count), float(cum[i]) / total)
+        for i, (length, count) in enumerate(merged)
+    ]
+    rows.sort(key=lambda row: -row[1])
+    top = rows[:max_rows]
+    top.sort(key=lambda row: row[0])
+    return top
+
+
+def mean_length_ratio(
+    a: WireLengthDistribution, b: WireLengthDistribution
+) -> float:
+    """Ratio of mean wire lengths ``a / b``."""
+    return a.mean_length / b.mean_length
+
+
+def cdf_distance(
+    a: WireLengthDistribution, b: WireLengthDistribution
+) -> float:
+    """Kolmogorov-Smirnov-style distance between two length CDFs.
+
+    Max absolute difference of the cumulative wire-count fractions over
+    the union of length points; 0 = identical shape, 1 = disjoint.
+    """
+    if a.total_wires == 0 or b.total_wires == 0:
+        raise WLDError("cannot compare empty WLDs")
+
+    def cdf(wld: WireLengthDistribution, points: np.ndarray) -> np.ndarray:
+        merged = wld.merged_equal_lengths()
+        lengths = merged.lengths[::-1]  # ascending
+        counts = merged.counts[::-1]
+        cum = np.cumsum(counts) / merged.total_wires
+        idx = np.searchsorted(lengths, points, side="right") - 1
+        out = np.where(idx >= 0, cum[np.clip(idx, 0, None)], 0.0)
+        return out
+
+    points = np.union1d(a.lengths, b.lengths)
+    return float(np.max(np.abs(cdf(a, points) - cdf(b, points))))
+
+
+@dataclass(frozen=True)
+class WLDSummary:
+    """One-struct digest of a distribution.
+
+    Attributes
+    ----------
+    total_wires, total_length, mean_length, max_length:
+        Standard aggregates (lengths in gate pitches).
+    share_ge2, share_ge3, share_ge4:
+        Length-class shares — the rank-plateau candidates.
+    """
+
+    total_wires: int
+    total_length: float
+    mean_length: float
+    max_length: float
+    share_ge2: float
+    share_ge3: float
+    share_ge4: float
+
+
+def summarize(wld: WireLengthDistribution) -> WLDSummary:
+    """Compute the digest used by reports and EXPERIMENTS.md."""
+    return WLDSummary(
+        total_wires=wld.total_wires,
+        total_length=wld.total_length,
+        mean_length=wld.mean_length,
+        max_length=wld.max_length,
+        share_ge2=share_at_least(wld, 2.0),
+        share_ge3=share_at_least(wld, 3.0),
+        share_ge4=share_at_least(wld, 4.0),
+    )

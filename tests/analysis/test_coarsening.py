@@ -1,0 +1,46 @@
+"""Tests for the coarsening study (E8, paper Section 5.1)."""
+
+import pytest
+
+from repro.analysis.coarsening import (
+    coarsening_study,
+    max_pairwise_deviation,
+)
+from repro.errors import RankComputationError
+
+
+class TestCoarseningStudy:
+    def test_points_structure(self, small_baseline):
+        points = coarsening_study(
+            small_baseline, bunch_sizes=[5000, 1000], repeater_units=128
+        )
+        assert len(points) == 2
+        assert points[0].bunch_size == 5000
+        assert points[0].error_bound <= 5000
+        assert points[0].runtime_seconds > 0
+
+    def test_error_bound_holds(self, small_baseline):
+        """Observed deviation between coarsenings is within the sum of
+        the paper's per-run bunching bounds."""
+        points = coarsening_study(
+            small_baseline, bunch_sizes=[10_000, 2000, 500], repeater_units=256
+        )
+        ranks = [p.result.rank for p in points]
+        bounds = [p.error_bound for p in points]
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                assert abs(ranks[i] - ranks[j]) <= bounds[i] + bounds[j]
+
+    def test_max_pairwise_deviation(self, small_baseline):
+        points = coarsening_study(
+            small_baseline, bunch_sizes=[5000, 1000], repeater_units=128
+        )
+        ranks = [p.result.rank for p in points]
+        assert max_pairwise_deviation(points) == max(ranks) - min(ranks)
+
+    def test_empty_sizes_rejected(self, small_baseline):
+        with pytest.raises(RankComputationError):
+            coarsening_study(small_baseline, bunch_sizes=[])
+
+    def test_deviation_empty(self):
+        assert max_pairwise_deviation([]) == 0

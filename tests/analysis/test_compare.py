@@ -1,0 +1,57 @@
+"""Tests for cross-node comparison (E7)."""
+
+import pytest
+
+from repro.analysis.compare import PAPER_BASELINE_DESIGNS, compare_nodes
+
+
+class TestCompareNodes:
+    def test_paper_designs_registered(self):
+        assert PAPER_BASELINE_DESIGNS == (
+            ("180nm", 1_000_000),
+            ("130nm", 1_000_000),
+            ("90nm", 4_000_000),
+        )
+
+    def test_small_designs(self):
+        baselines = compare_nodes(
+            designs=[("180nm", 50_000), ("130nm", 50_000)],
+            bunch_size=2000,
+            repeater_units=128,
+        )
+        assert len(baselines) == 2
+        assert baselines[0].node_name == "180nm"
+        assert all(b.result.fits for b in baselines)
+
+    def test_newer_node_at_least_as_good(self):
+        """Same design on a faster node should not lose rank."""
+        baselines = compare_nodes(
+            designs=[("180nm", 50_000), ("130nm", 50_000), ("90nm", 50_000)],
+            bunch_size=2000,
+            repeater_units=128,
+        )
+        ranks = [b.normalized for b in baselines]
+        assert ranks[0] <= ranks[1] <= ranks[2] + 1e-9
+
+    def test_overrides_forwarded(self):
+        tight = compare_nodes(
+            designs=[("130nm", 50_000)],
+            bunch_size=2000,
+            repeater_units=128,
+            clock_frequency=2.0e9,
+        )
+        loose = compare_nodes(
+            designs=[("130nm", 50_000)],
+            bunch_size=2000,
+            repeater_units=128,
+            clock_frequency=3.0e8,
+        )
+        assert tight[0].normalized <= loose[0].normalized
+
+    def test_greedy_solver_option(self):
+        baselines = compare_nodes(
+            designs=[("130nm", 50_000)],
+            solver="greedy",
+            bunch_size=2000,
+        )
+        assert baselines[0].result.solver == "greedy"

@@ -1,0 +1,63 @@
+"""Tests for repeater-area reconciliation (footnote 3 extension)."""
+
+import pytest
+
+from repro.analysis.reconcile import reconcile_repeater_area
+from repro.core.scenarios import baseline_problem
+from repro.errors import RankComputationError
+
+FAST = dict(bunch_size=2000, repeater_units=256)
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    problem = baseline_problem("130nm", 100_000)
+    return reconcile_repeater_area(problem, **FAST)
+
+
+class TestReconciliation:
+    def test_first_step_is_unreconciled_baseline(self, outcome):
+        assert outcome.initial.repeater_fraction == pytest.approx(0.4)
+
+    def test_usage_below_provision(self, outcome):
+        for step in outcome.steps:
+            assert step.used_area <= step.provisioned_area * (1 + 1e-9)
+            assert 0.0 <= step.utilized <= 1.0 + 1e-9
+
+    def test_rank_never_degrades(self, outcome):
+        """Right-sizing shrinks the die, shortening every wire: the
+        reconciled rank must be at least the unreconciled one."""
+        assert outcome.final.result.rank >= outcome.initial.result.rank
+
+    def test_budget_shrinks_when_underused(self, outcome):
+        if outcome.initial.utilized < 0.9:
+            assert (
+                outcome.final.provisioned_area < outcome.initial.provisioned_area
+            )
+            assert outcome.die_area_saved > 0
+
+    def test_converges(self, outcome):
+        assert outcome.converged
+        assert len(outcome.steps) <= 8
+
+    def test_final_provision_tracks_usage(self, outcome):
+        final = outcome.final
+        if final.used_area > 0:
+            assert final.provisioned_area <= 1.35 * final.used_area * 1.05
+
+
+class TestValidation:
+    def test_bad_slack(self):
+        problem = baseline_problem("130nm", 50_000)
+        with pytest.raises(RankComputationError):
+            reconcile_repeater_area(problem, slack=-0.1)
+
+    def test_bad_tolerance(self):
+        problem = baseline_problem("130nm", 50_000)
+        with pytest.raises(RankComputationError):
+            reconcile_repeater_area(problem, tolerance=0.0)
+
+    def test_bad_iterations(self):
+        problem = baseline_problem("130nm", 50_000)
+        with pytest.raises(RankComputationError):
+            reconcile_repeater_area(problem, max_iterations=0)

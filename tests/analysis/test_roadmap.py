@@ -1,0 +1,85 @@
+"""Tests for the scaling-roadmap study (E18)."""
+
+import pytest
+
+from repro.analysis.roadmap import (
+    DEFAULT_GENERATIONS,
+    materials_shortfall,
+    roadmap_study,
+)
+from repro.errors import RankComputationError
+
+FAST = dict(bunch_size=2000, repeater_units=256)
+
+
+@pytest.fixture(scope="module")
+def roadmaps():
+    return roadmap_study(100_000, **FAST)
+
+
+class TestRoadmapStructure:
+    def test_default_generations(self):
+        assert DEFAULT_GENERATIONS[0] == ("180nm", 1)
+        assert DEFAULT_GENERATIONS[-1] == ("90nm", 4)
+
+    def test_lengths_match(self, roadmaps):
+        materials_only, full_scaling = roadmaps
+        assert len(materials_only) == len(full_scaling) == 3
+
+    def test_materials_only_stays_on_start_node(self, roadmaps):
+        materials_only, _ = roadmaps
+        assert all(p.node_name == "180nm" for p in materials_only)
+        assert all(p.materials == "best" for p in materials_only)
+
+    def test_full_scaling_follows_nodes(self, roadmaps):
+        _, full_scaling = roadmaps
+        assert [p.node_name for p in full_scaling] == ["180nm", "130nm", "90nm"]
+
+    def test_gate_counts_double(self, roadmaps):
+        materials_only, _ = roadmaps
+        assert [p.gate_count for p in materials_only] == [
+            100_000, 200_000, 400_000,
+        ]
+
+
+class TestPaperClaim:
+    def test_materials_boost_is_one_shot(self, roadmaps):
+        """Generation 0: best materials beat the baseline node hands
+        down (the low-k + shielding boost is real)."""
+        materials_only, full_scaling = roadmaps
+        assert (
+            materials_only[0].result.normalized
+            > full_scaling[0].result.normalized
+        )
+
+    def test_materials_only_decays_with_design_growth(self, roadmaps):
+        materials_only, _ = roadmaps
+        assert (
+            materials_only[-1].result.normalized
+            < materials_only[0].result.normalized
+        )
+
+    def test_scaling_overtakes(self, roadmaps):
+        """The paper's closing claim: by the last generation, node
+        scaling at plain materials beats frozen-node best materials."""
+        materials_only, full_scaling = roadmaps
+        assert materials_shortfall(materials_only, full_scaling) > 0
+
+    def test_scaling_trajectory_improves(self, roadmaps):
+        _, full_scaling = roadmaps
+        ranks = [p.result.normalized for p in full_scaling]
+        assert ranks[-1] > ranks[0]
+
+
+class TestValidation:
+    def test_empty_generations_rejected(self):
+        with pytest.raises(RankComputationError):
+            roadmap_study(100_000, generations=())
+
+    def test_tiny_gate_count_rejected(self):
+        with pytest.raises(RankComputationError):
+            roadmap_study(2)
+
+    def test_empty_shortfall_rejected(self):
+        with pytest.raises(RankComputationError):
+            materials_shortfall([], [])

@@ -1,0 +1,136 @@
+"""Tests for knob-equivalence analysis (the E5 headline machinery)."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    EquivalencePoint,
+    _interpolate_value_at_rank,
+    equivalent_reduction,
+    miller_permittivity_equivalence,
+)
+from repro.analysis.sweep import SweepPoint, SweepResult
+from repro.core.dp import SolverStats
+from repro.core.rank import RankResult
+from repro.errors import RankComputationError
+
+
+def fake_sweep(name, pairs):
+    """Build a SweepResult from (value, normalized) pairs."""
+    points = []
+    for value, normalized in pairs:
+        result = RankResult(
+            rank=int(normalized * 1000),
+            normalized=normalized,
+            total_wires=1000,
+            fits=True,
+            error_bound=0,
+            solver="dp",
+            stats=SolverStats(),
+        )
+        points.append(SweepPoint(value=value, result=result))
+    return SweepResult(name=name, points=tuple(points))
+
+
+class TestInterpolation:
+    def test_exact_point(self):
+        assert _interpolate_value_at_rank(
+            [3.9, 3.0, 2.0], [0.4, 0.45, 0.55], 0.45
+        ) == pytest.approx(3.0)
+
+    def test_midpoint(self):
+        assert _interpolate_value_at_rank(
+            [4.0, 2.0], [0.4, 0.6], 0.5
+        ) == pytest.approx(3.0)
+
+    def test_out_of_range(self):
+        assert _interpolate_value_at_rank([4.0, 2.0], [0.4, 0.6], 0.7) is None
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(RankComputationError):
+            _interpolate_value_at_rank([1.0], [0.5], 0.5)
+
+    def test_flat_segment(self):
+        assert _interpolate_value_at_rank(
+            [4.0, 3.0], [0.5, 0.5], 0.5
+        ) == pytest.approx(3.0)
+
+
+class TestEquivalentReduction:
+    def test_paper_shaped_example(self):
+        """K from 3.9 with rank rising linearly: reaching the mid level
+        requires the mid reduction."""
+        sweep = fake_sweep("K", [(3.9, 0.40), (2.9, 0.45), (1.9, 0.50)])
+        reduction = equivalent_reduction(sweep, 0.45)
+        assert reduction == pytest.approx((3.9 - 2.9) / 3.9)
+
+    def test_out_of_range_none(self):
+        sweep = fake_sweep("K", [(3.9, 0.40), (2.9, 0.45)])
+        assert equivalent_reduction(sweep, 0.9) is None
+
+
+class TestEquivalencePoints:
+    def test_ratio(self):
+        point = EquivalencePoint(rank_level=0.5, reduction_a=0.38, reduction_b=0.42)
+        assert point.ratio == pytest.approx(0.42 / 0.38)
+
+    def test_ratio_undefined(self):
+        assert EquivalencePoint(0.5, None, 0.42).ratio is None
+        assert EquivalencePoint(0.5, 0.38, None).ratio is None
+        assert EquivalencePoint(0.5, 0.0, 0.42).ratio is None
+
+    def test_paper_headline_on_paper_data(self):
+        """Run the machinery on the paper's own Table 4 columns.
+
+        Precise piecewise-linear inversion of the paper's data shows the
+        two knobs are ~1:1 equivalent — at rank 0.50 the K reduction is
+        38.5% and the M reduction 38.4%.  The abstract's "42% M ~ 38% K"
+        pairs nearby *grid points* (K=2.4 at 0.5016 vs M=1.15 at 0.5184)
+        rather than equal rank levels; our reproduction reports the
+        precise equivalence (see EXPERIMENTS.md, E5).
+        """
+        from repro.analysis.sweep import PAPER_TABLE4_K, PAPER_TABLE4_M
+
+        k_sweep = fake_sweep("K", PAPER_TABLE4_K)
+        m_sweep = fake_sweep("M", PAPER_TABLE4_M)
+        points = miller_permittivity_equivalence(k_sweep, m_sweep, num_levels=6)
+        mid = min(points, key=lambda p: abs(p.rank_level - 0.50))
+        assert mid.reduction_a == pytest.approx(0.385, abs=0.02)
+        assert mid.reduction_b == pytest.approx(0.384, abs=0.02)
+        assert mid.ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_levels_span_baseline_to_min_max(self):
+        k_sweep = fake_sweep("K", [(3.9, 0.40), (1.9, 0.60)])
+        m_sweep = fake_sweep("M", [(2.0, 0.40), (1.0, 0.50)])
+        points = miller_permittivity_equivalence(k_sweep, m_sweep, num_levels=4)
+        assert len(points) == 4
+        assert points[-1].rank_level == pytest.approx(0.50)
+
+    def test_no_improvement_rejected(self):
+        flat = fake_sweep("K", [(3.9, 0.4), (1.9, 0.4)])
+        with pytest.raises(RankComputationError):
+            miller_permittivity_equivalence(flat, flat)
+
+    def test_invalid_levels_rejected(self):
+        k_sweep = fake_sweep("K", [(3.9, 0.4), (1.9, 0.6)])
+        with pytest.raises(RankComputationError):
+            miller_permittivity_equivalence(k_sweep, k_sweep, num_levels=0)
+
+
+class TestEndToEnd:
+    def test_small_design_equivalence(self, small_baseline):
+        """On the 100k-gate design the K and M reductions for equal rank
+        stay within a factor ~2 of each other (coupling dominates)."""
+        from repro.analysis.sweep import sweep_miller, sweep_permittivity
+
+        fast = dict(bunch_size=2000, repeater_units=128)
+        k_sweep = sweep_permittivity(
+            small_baseline, values=[3.9, 3.3, 2.7, 2.1], **fast
+        )
+        m_sweep = sweep_miller(
+            small_baseline, values=[2.0, 1.7, 1.4, 1.1], **fast
+        )
+        points = miller_permittivity_equivalence(k_sweep, m_sweep, num_levels=4)
+        ratios = [p.ratio for p in points if p.ratio is not None]
+        assert ratios, "no overlapping rank levels"
+        for ratio in ratios:
+            assert 0.5 < ratio < 2.0

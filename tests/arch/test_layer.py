@@ -1,0 +1,52 @@
+"""Tests for LayerPair."""
+
+import pytest
+
+from repro import units
+from repro.arch.layer import LayerPair
+from repro.errors import ConfigurationError
+from repro.rc.models import WireRC
+from repro.tech.node import MetalRule, ViaRule
+
+
+@pytest.fixture
+def pair():
+    return LayerPair(
+        name="semi_global-1",
+        tier="semi_global",
+        metal=MetalRule(
+            min_width=units.um(0.2),
+            min_spacing=units.um(0.21),
+            thickness=units.um(0.34),
+        ),
+        via=ViaRule(min_width=units.um(0.26)),
+        rc=WireRC(resistance=3e5, capacitance=3e-10),
+    )
+
+
+class TestLayerPair:
+    def test_wire_pitch(self, pair):
+        assert pair.wire_pitch == pytest.approx(units.um(0.41))
+
+    def test_wire_area(self, pair):
+        assert pair.wire_area(units.um(100)) == pytest.approx(
+            units.um(100) * units.um(0.41)
+        )
+
+    def test_zero_length_wire_area(self, pair):
+        assert pair.wire_area(0.0) == 0.0
+
+    def test_negative_length_rejected(self, pair):
+        with pytest.raises(ConfigurationError):
+            pair.wire_area(-1.0)
+
+    def test_empty_name_rejected(self, pair):
+        with pytest.raises(ConfigurationError):
+            LayerPair(name="", tier="x", metal=pair.metal, via=pair.via, rc=pair.rc)
+
+    def test_empty_tier_rejected(self, pair):
+        with pytest.raises(ConfigurationError):
+            LayerPair(name="x", tier="", metal=pair.metal, via=pair.via, rc=pair.rc)
+
+    def test_area_linear_in_length(self, pair):
+        assert pair.wire_area(2e-3) == pytest.approx(2 * pair.wire_area(1e-3))

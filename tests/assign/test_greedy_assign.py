@@ -1,0 +1,156 @@
+"""Tests for the M'' oracle (Algorithm 5, Lemma 1)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.assign.greedy_assign import _max_assignable, pack_suffix
+from repro.errors import AssignmentError
+
+from .test_tables import make_tables
+
+
+@pytest.fixture
+def tables(arch130, die130):
+    return make_tables(
+        arch130, die130, [(1000.0, 2), (300.0, 10), (40.0, 100), (2.0, 500)]
+    )
+
+
+class TestMaxAssignable:
+    def test_simple_fit(self):
+        # capacity 100, wires of area 10, no via overhead
+        assert _max_assignable(100.0, 0.0, 10.0, 0.0, 5, 5) == 5
+
+    def test_partial_fit(self):
+        assert _max_assignable(35.0, 0.0, 10.0, 0.0, 5, 5) == 3
+
+    def test_area_already_used(self):
+        assert _max_assignable(35.0, 30.0, 10.0, 0.0, 5, 5) == 0
+
+    def test_via_reservation_blocks(self):
+        # 5 wires remaining, each reserving 10 of via area: capacity 49
+        # cannot even hold one wire of area 1 plus 4 x 10 reservations.
+        assert _max_assignable(40.0, 0.0, 1.0, 10.0, 5, 5) == 0
+
+    def test_via_reservation_shrinks_as_wires_assign(self):
+        # assigning frees reservation: area 1 < via 10, so slope < 0 and
+        # if the first wire fits, all do.
+        assert _max_assignable(50.0, 0.0, 1.0, 10.0, 5, 5) == 5
+
+    def test_group_remaining_cap(self):
+        assert _max_assignable(1000.0, 0.0, 1.0, 0.0, 100, 7) == 7
+
+
+class TestPackSuffix:
+    def test_nothing_to_pack(self, tables):
+        assert pack_suffix(tables, tables.num_groups, 0, 0, 0)
+
+    def test_no_pairs_left(self, tables):
+        assert not pack_suffix(tables, 0, tables.num_pairs, 0, 0)
+
+    def test_everything_fits_baseline(self, tables):
+        assert pack_suffix(tables, 0, 0, 0, 0)
+
+    def test_blockage_can_kill_packing(self, tables):
+        assert not pack_suffix(tables, 0, 0, 10**10, 0)
+
+    def test_repeater_blockage_counts(self, tables):
+        fits_without = pack_suffix(tables, 0, 3, 0, 0)
+        fits_with = pack_suffix(tables, 0, 3, 0, 1e12)
+        assert fits_without and not fits_with
+
+    def test_leftover_override(self, tables):
+        # with a zero-leftover top pair and only that pair available,
+        # nothing can be packed
+        assert not pack_suffix(
+            tables, 0, tables.num_pairs - 1, 0, 0, top_pair_leftover=0.0
+        )
+
+    def test_fewer_pairs_harder(self, tables):
+        for top in range(tables.num_pairs):
+            if not pack_suffix(tables, 0, top, 0, 0):
+                # once infeasible, giving even fewer pairs stays infeasible
+                for worse in range(top + 1, tables.num_pairs):
+                    assert not pack_suffix(tables, 0, worse, 0, 0)
+                break
+
+    def test_suffix_shrinking_helps(self, tables):
+        """If a suffix fits, any shorter suffix fits too."""
+        for start in range(tables.num_groups + 1):
+            if pack_suffix(tables, start, 2, 0, 0):
+                for easier in range(start, tables.num_groups + 1):
+                    assert pack_suffix(tables, easier, 2, 0, 0)
+                break
+
+    def test_invalid_args(self, tables):
+        with pytest.raises(AssignmentError):
+            pack_suffix(tables, -1, 0, 0, 0)
+        with pytest.raises(AssignmentError):
+            pack_suffix(tables, 0, 99, 0, 0)
+
+
+def brute_force_pack(tables, start_group, top_pair, wires_above, reps_above):
+    """Exhaustively try every monotone wire->pair packing (tiny cases).
+
+    Wires are expanded to individuals; each partition assigns contiguous
+    runs of the (descending) suffix to pairs top-down.  Blockage: prefix
+    wires + repeaters above every pair, plus suffix wires assigned above
+    that pair.
+    """
+    lengths = []
+    for g in range(start_group, tables.num_groups):
+        lengths.extend([float(tables.lengths_m[g])] * int(tables.counts[g]))
+    n = len(lengths)
+    pairs = list(range(top_pair, tables.num_pairs))
+    m = len(pairs)
+    if n == 0:
+        return True
+    if m == 0:
+        return False
+    for cuts in itertools.combinations(range(n + m - 1), m - 1):
+        boundary = [0]
+        for index, cut in enumerate(cuts):
+            boundary.append(cut - index)
+        boundary.append(n)
+        ok = True
+        for pi, pair in enumerate(pairs):
+            segment = lengths[boundary[pi]: boundary[pi + 1]]
+            above = wires_above + boundary[pi]
+            capacity = tables.capacity(pair, above, reps_above)
+            area = sum(l * float(tables.pair_pitch[pair]) for l in segment)
+            if area > capacity * (1 + 1e-9):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+class TestLemma1:
+    """Greedy bottom-up packing is optimal (paper Lemma 1): whenever the
+    greedy packer fails, no monotone packing exists at all."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=1, max_value=1500), min_size=1, max_size=7
+        ),
+        gate_count=st.sampled_from([3000, 20_000, 100_000]),
+    )
+    def test_greedy_agrees_with_brute_force(self, lengths, gate_count, arch130):
+        from repro.arch.die import DieModel
+        from repro.tech.presets import NODE_130NM
+
+        die = DieModel(
+            node=NODE_130NM, gate_count=gate_count, repeater_fraction=0.3
+        )
+        tables = make_tables(
+            arch130, die, [(float(l), 1) for l in set(lengths)]
+        )
+        greedy = pack_suffix(tables, 0, 2, 0, 0)
+        brute = brute_force_pack(tables, 0, 2, 0, 0)
+        assert greedy == brute

@@ -1,0 +1,109 @@
+"""Tests for the M' oracle (Algorithm 4)."""
+
+import math
+
+import pytest
+
+from repro.assign.wire_assign import assign_with_delay
+from repro.errors import AssignmentError
+
+from .test_tables import make_tables
+
+
+@pytest.fixture
+def tables(arch130, die130):
+    return make_tables(
+        arch130, die130, [(1000.0, 2), (300.0, 10), (40.0, 100), (2.0, 500)]
+    )
+
+
+class TestEmptySlice:
+    def test_feasible_with_full_leftover(self, tables):
+        result = assign_with_delay(tables, 0, 1, 1, 0, 0, 1e-6)
+        assert result.feasible
+        assert result.wire_area_used == 0.0
+        assert result.leftover_capacity == pytest.approx(tables.capacity(0, 0, 0))
+
+
+class TestFeasibleAssignment:
+    def test_accounting(self, tables):
+        result = assign_with_delay(
+            tables, 0, 0, 2, wires_above=0, repeaters_above=0,
+            repeater_area_available=tables.repeater_budget_area,
+        )
+        assert result.feasible
+        expected_area = float(tables.cum_wire_area[0][2])
+        assert result.wire_area_used == pytest.approx(expected_area)
+        assert result.leftover_capacity == pytest.approx(
+            tables.capacity(0, 0, 0) - expected_area
+        )
+        assert result.repeater_area_used == pytest.approx(
+            float(tables.cum_rep_area[0][2])
+        )
+
+    def test_repeater_count_is_inline_only(self, tables):
+        """Blockage counts inserted repeaters (stages - 1), not charged
+        stages."""
+        result = assign_with_delay(
+            tables, 0, 0, 2, 0, 0, tables.repeater_budget_area
+        )
+        expected = int(tables.cum_inserted[0][2])
+        assert result.repeaters_inserted == expected
+
+
+class TestInfeasibility:
+    def test_budget_exhaustion(self, tables):
+        result = assign_with_delay(tables, 0, 0, 2, 0, 0, 0.0)
+        needs_budget = float(tables.cum_rep_area[0][2]) > 0
+        assert result.feasible != needs_budget
+
+    def test_capacity_exhaustion(self, tables):
+        """Enough blockage from above leaves no room for any wire."""
+        blocked_wires = 10**9
+        result = assign_with_delay(
+            tables, 0, 0, 1, blocked_wires, 0, tables.repeater_budget_area
+        )
+        assert not result.feasible
+
+    def test_delay_infeasible_group(self, arch130, die130):
+        tables = make_tables(arch130, die130, [(1000.0, 1), (1.0, 10)], clock=3e9)
+        # shortest group cannot meet its target anywhere
+        result = assign_with_delay(
+            tables, 3, 0, 2, 0, 0, tables.repeater_budget_area
+        )
+        assert not result.feasible
+
+    def test_failure_result_is_zeroed(self, tables):
+        result = assign_with_delay(tables, 0, 0, 2, 0, 0, 0.0)
+        if not result.feasible:
+            assert result.wire_area_used == 0.0
+            assert result.repeaters_inserted == 0
+
+
+class TestValidation:
+    def test_bad_pair_index(self, tables):
+        with pytest.raises(AssignmentError):
+            assign_with_delay(tables, 9, 0, 1, 0, 0, 1.0)
+
+    def test_bad_slice(self, tables):
+        with pytest.raises(AssignmentError):
+            assign_with_delay(tables, 0, 3, 1, 0, 0, 1.0)
+        with pytest.raises(AssignmentError):
+            assign_with_delay(tables, 0, 0, 99, 0, 0, 1.0)
+
+    def test_negative_budget(self, tables):
+        with pytest.raises(AssignmentError):
+            assign_with_delay(tables, 0, 0, 1, 0, 0, -1.0)
+
+
+class TestMonotonicity:
+    def test_more_budget_never_hurts(self, tables):
+        small = assign_with_delay(tables, 1, 0, 3, 0, 0, 1e-9)
+        large = assign_with_delay(tables, 1, 0, 3, 0, 0, 1e-3)
+        assert large.feasible or not small.feasible
+
+    def test_longer_slice_needs_more_area(self, tables):
+        short = assign_with_delay(tables, 1, 0, 2, 0, 0, 1e-3)
+        longer = assign_with_delay(tables, 1, 0, 3, 0, 0, 1e-3)
+        if short.feasible and longer.feasible:
+            assert longer.wire_area_used > short.wire_area_used

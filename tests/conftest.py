@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small: solver cross-validation runs at a few
+wires, and integration tests use designs of 50k-200k gates so the whole
+suite stays fast while still exercising the full pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ArchitectureSpec,
+    DieModel,
+    RankProblem,
+    build_architecture,
+    get_node,
+)
+from repro.core.scenarios import baseline_problem
+from repro.wld.synthetic import wld_from_pairs
+
+
+@pytest.fixture(scope="session")
+def node130():
+    """The 130 nm preset node (the paper's baseline)."""
+    return get_node("130nm")
+
+
+@pytest.fixture(scope="session")
+def node180():
+    return get_node("180nm")
+
+
+@pytest.fixture(scope="session")
+def node90():
+    return get_node("90nm")
+
+
+@pytest.fixture(scope="session")
+def arch130(node130):
+    """Baseline 130 nm architecture: 1 global + 2 semi-global + 1 local."""
+    return build_architecture(ArchitectureSpec(node=node130))
+
+
+@pytest.fixture(scope="session")
+def die130(node130):
+    """1M-gate die at the baseline 0.4 repeater fraction."""
+    return DieModel(node=node130, gate_count=1_000_000, repeater_fraction=0.4)
+
+
+def make_tiny_problem(
+    node,
+    lengths,
+    gate_count=10_000,
+    repeater_fraction=0.2,
+    clock_frequency=5.0e8,
+    local_pairs=1,
+    semi_global_pairs=0,
+    global_pairs=1,
+    **kwargs,
+):
+    """A small unit-count problem for solver cross-validation."""
+    arch = build_architecture(
+        ArchitectureSpec(
+            node=node,
+            local_pairs=local_pairs,
+            semi_global_pairs=semi_global_pairs,
+            global_pairs=global_pairs,
+        )
+    )
+    die = DieModel(
+        node=node, gate_count=gate_count, repeater_fraction=repeater_fraction
+    )
+    wld = wld_from_pairs((float(l), 1) for l in lengths)
+    return RankProblem(
+        arch=arch, die=die, wld=wld, clock_frequency=clock_frequency, **kwargs
+    )
+
+
+@pytest.fixture
+def tiny_problem(node130):
+    """Five distinct wires, two layer-pairs: exhaustive-checkable."""
+    return make_tiny_problem(node130, [1200, 700, 300, 90, 25])
+
+
+@pytest.fixture(scope="session")
+def small_baseline():
+    """A 100k-gate 130 nm baseline — full pipeline, fast to solve."""
+    return baseline_problem("130nm", 100_000)

@@ -1,0 +1,98 @@
+"""Tests for the shared repeater-area discretization."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.discretize import discretize_repeaters
+from repro.errors import RankComputationError
+
+from ..conftest import make_tiny_problem
+
+
+@pytest.fixture
+def tables(node130):
+    problem = make_tiny_problem(node130, [1200, 700, 300, 90, 25])
+    return problem.tables()[0]
+
+
+class TestBasics:
+    def test_unit_area(self, tables):
+        disc = discretize_repeaters(tables, 100)
+        assert disc.unit_area == pytest.approx(tables.repeater_budget_area / 100)
+        assert disc.num_units == 100
+
+    def test_invalid_units_rejected(self, tables):
+        with pytest.raises(RankComputationError):
+            discretize_repeaters(tables, 0)
+
+    def test_zero_budget(self, node130):
+        problem = make_tiny_problem(node130, [100.0], repeater_fraction=0.0)
+        tables = problem.tables()[0]
+        disc = discretize_repeaters(tables, 64)
+        assert disc.num_units == 0
+        assert math.isinf(disc.unit_area)
+        assert disc.area_to_units(1e-15) == math.inf
+        assert disc.area_to_units(0.0) == 0.0
+
+
+class TestAreaToUnits:
+    def test_exact_multiple_no_roundup(self, tables):
+        disc = discretize_repeaters(tables, 64)
+        assert disc.area_to_units(disc.unit_area * 3) == 3
+
+    def test_ceil(self, tables):
+        disc = discretize_repeaters(tables, 64)
+        assert disc.area_to_units(disc.unit_area * 3.01) == 4
+
+    def test_zero_area_free(self, tables):
+        disc = discretize_repeaters(tables, 64)
+        assert disc.area_to_units(0.0) == 0.0
+
+
+class TestSliceUnits:
+    def test_slice_matches_area(self, tables):
+        disc = discretize_repeaters(tables, 64)
+        for pair in range(tables.num_pairs):
+            for b in range(tables.num_groups):
+                for e in range(b, tables.num_groups + 1):
+                    area = float(
+                        tables.cum_rep_area[pair][e] - tables.cum_rep_area[pair][b]
+                    )
+                    units = disc.slice_units(pair, b, e)
+                    if math.isinf(area) or math.isnan(area):
+                        assert math.isinf(units)
+                    else:
+                        assert units == disc.area_to_units(area)
+
+    def test_batch_matches_scalar(self, tables):
+        disc = discretize_repeaters(tables, 64)
+        ends = np.arange(0, tables.num_groups + 1)
+        for pair in range(tables.num_pairs):
+            batch = disc.slice_units_batch(pair, 0, ends)
+            for i, e in enumerate(ends):
+                assert batch[i] == disc.slice_units(pair, 0, int(e))
+
+    def test_empty_slice_free(self, tables):
+        disc = discretize_repeaters(tables, 64)
+        assert disc.slice_units(0, 2, 2) == 0.0
+
+    def test_per_slice_rounding_cheaper_than_per_group(self, tables):
+        """The whole point of slice-level rounding: one ceil per block,
+        not one per group."""
+        disc = discretize_repeaters(tables, 1000)
+        pair = tables.num_pairs - 1
+        whole = disc.slice_units(pair, 0, tables.num_groups)
+        per_group = sum(
+            disc.slice_units(pair, g, g + 1) for g in range(tables.num_groups)
+        )
+        assert whole <= per_group
+
+    def test_infeasible_slice_is_inf(self, node130):
+        problem = make_tiny_problem(node130, [1500, 1], clock_frequency=3e9)
+        tables = problem.tables()[0]
+        disc = discretize_repeaters(tables, 64)
+        # shortest group infeasible at 3 GHz on every pair
+        assert (tables.stages[:, -1] == -1).all()
+        assert math.isinf(disc.slice_units(0, 0, tables.num_groups))

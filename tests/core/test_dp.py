@@ -1,0 +1,135 @@
+"""Tests for the optimized DP solver."""
+
+import pytest
+
+from repro.core.dp import solve_rank_dp
+from repro.core.rank import compute_rank
+
+from ..conftest import make_tiny_problem
+
+
+class TestBasicBehaviour:
+    def test_tiny_problem_solves(self, tiny_problem):
+        result = compute_rank(tiny_problem, solver="dp")
+        assert result.fits
+        assert 0 <= result.rank <= tiny_problem.wld.total_wires
+
+    def test_stats_populated(self, tiny_problem):
+        result = compute_rank(tiny_problem, solver="dp")
+        assert result.stats.solver == "dp"
+        assert result.stats.states_explored > 0
+        assert result.stats.runtime_seconds > 0
+
+    def test_deterministic(self, tiny_problem):
+        a = compute_rank(tiny_problem, solver="dp")
+        b = compute_rank(tiny_problem, solver="dp")
+        assert a.rank == b.rank
+
+    def test_definition3_rank_zero_when_unfittable(self, node130):
+        """A WLD that cannot fit at all has rank 0 (Definition 3)."""
+        problem = make_tiny_problem(
+            node130,
+            [2000] * 8,  # eight die-crossing wires on a tiny die
+            gate_count=1000,
+            repeater_fraction=0.05,
+        )
+        result = compute_rank(problem, solver="dp")
+        assert not result.fits
+        assert result.rank == 0
+
+
+class TestBudgetMonotonicity:
+    def test_rank_monotone_in_repeater_fraction(self, node130):
+        """More budget never reduces rank on a fixed WLD/arch — note the
+        die also inflates (Eq. 6), so we check the end-to-end trend on a
+        budget-bound instance."""
+        ranks = []
+        for fraction in (0.05, 0.15, 0.3, 0.45):
+            problem = make_tiny_problem(
+                node130,
+                list(range(200, 360, 10)),
+                gate_count=20_000,
+                repeater_fraction=fraction,
+            )
+            ranks.append(compute_rank(problem, solver="dp").rank)
+        assert ranks == sorted(ranks)
+
+    def test_rank_monotone_in_units_resolution(self, tiny_problem):
+        """Finer budget cells can only reduce conservative rounding."""
+        coarse = compute_rank(tiny_problem, solver="dp", repeater_units=4)
+        fine = compute_rank(tiny_problem, solver="dp", repeater_units=4096)
+        assert fine.rank >= coarse.rank
+
+
+class TestClockMonotonicity:
+    def test_rank_non_increasing_in_frequency(self, node130):
+        ranks = []
+        for frequency in (3e8, 5e8, 8e8, 1.2e9, 2e9):
+            problem = make_tiny_problem(
+                node130,
+                [1500, 900, 500, 250, 120, 60, 30, 10],
+                clock_frequency=frequency,
+            )
+            ranks.append(compute_rank(problem, solver="dp").rank)
+        assert ranks == sorted(ranks, reverse=True)
+
+
+class TestWitness:
+    def test_witness_structure(self, tiny_problem):
+        result = compute_rank(tiny_problem, solver="dp", collect_witness=True)
+        if result.rank == 0:
+            pytest.skip("no witness for rank 0")
+        witness = result.witness
+        assert witness is not None
+        # segments cover pairs in increasing order and groups contiguously
+        cursor = 0
+        for segment in witness:
+            assert segment.start_group == cursor
+            assert segment.end_group >= segment.start_group
+            cursor = segment.end_group
+        # total wires in witness equals the rank
+        tables, _ = tiny_problem.tables()
+        covered = int(tables.cum_wires[cursor])
+        assert covered == result.rank
+
+    def test_witness_budget_within_limit(self, tiny_problem):
+        result = compute_rank(
+            tiny_problem, solver="dp", repeater_units=64, collect_witness=True
+        )
+        if result.witness is None:
+            pytest.skip("no witness")
+        assert sum(s.repeater_cells for s in result.witness) <= 64
+
+    def test_witness_physically_feasible(self, tiny_problem):
+        """Re-simulate the witness against the raw tables."""
+        result = compute_rank(tiny_problem, solver="dp", collect_witness=True)
+        if result.witness is None:
+            pytest.skip("no witness")
+        tables, _ = tiny_problem.tables()
+        wires_above = 0
+        reps_above = 0.0
+        rep_area = 0.0
+        for segment in result.witness:
+            pair = segment.pair
+            capacity = tables.capacity(pair, wires_above, reps_above)
+            area = float(
+                tables.cum_wire_area[pair][segment.end_group]
+                - tables.cum_wire_area[pair][segment.start_group]
+            )
+            assert area <= capacity * (1 + 1e-9)
+            rep_area += float(
+                tables.cum_rep_area[pair][segment.end_group]
+                - tables.cum_rep_area[pair][segment.start_group]
+            )
+            wires_above = int(tables.cum_wires[segment.end_group])
+            reps_above += segment.repeaters
+        assert rep_area <= tables.repeater_budget_area * (1 + 1e-9)
+
+
+class TestRawSolver:
+    def test_solve_rank_dp_direct(self, tiny_problem):
+        tables, _ = tiny_problem.tables()
+        raw = solve_rank_dp(tables, repeater_units=64)
+        via_api = compute_rank(tiny_problem, solver="dp", repeater_units=64)
+        assert raw.rank == via_api.rank
+        assert raw.fits == via_api.fits

@@ -1,0 +1,102 @@
+"""Cross-cutting solver invariants (property-style).
+
+These encode facts that must hold for *any* correct rank solver, beyond
+agreement with the oracles: resource monotonicity, normalization
+bounds, and the architecture-extension dominance argument.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ArchitectureSpec, build_architecture, compute_rank
+from repro.core.scenarios import baseline_problem
+
+from ..conftest import make_tiny_problem
+
+FAST = dict(bunch_size=2000, repeater_units=128)
+
+
+class TestResourceMonotonicity:
+    def test_utilization_monotone(self, small_baseline):
+        """More usable routing area never lowers rank."""
+        ranks = []
+        for utilization in (0.5, 0.75, 1.0):
+            problem = dataclasses.replace(small_baseline, utilization=utilization)
+            ranks.append(compute_rank(problem, **FAST).rank)
+        assert ranks == sorted(ranks)
+
+    def test_pair_capacity_factor_monotone(self, small_baseline):
+        ranks = []
+        for factor in (1.0, 1.5, 2.0):
+            problem = dataclasses.replace(
+                small_baseline, pair_capacity_factor=factor
+            )
+            ranks.append(compute_rank(problem, **FAST).rank)
+        assert ranks == sorted(ranks)
+
+    def test_extra_local_pair_never_hurts(self, small_baseline):
+        """An extra bottom pair only adds capacity (it can stay empty)."""
+        base = compute_rank(small_baseline, **FAST)
+        spec = ArchitectureSpec(node=small_baseline.die.node, local_pairs=2)
+        extended = small_baseline.with_arch(build_architecture(spec))
+        assert compute_rank(extended, **FAST).rank >= base.rank
+
+    def test_vias_per_wire_monotone(self, small_baseline):
+        """Fatter via blockage never raises rank."""
+        ranks = []
+        for vias in (2, 4, 8):
+            problem = dataclasses.replace(small_baseline, vias_per_wire=vias)
+            ranks.append(compute_rank(problem, **FAST).rank)
+        assert ranks == sorted(ranks, reverse=True)
+
+
+class TestNormalizationBounds:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        lengths=st.sets(
+            st.integers(min_value=2, max_value=1500), min_size=1, max_size=6
+        ),
+        fraction=st.sampled_from([0.05, 0.25, 0.45]),
+    )
+    def test_rank_bounded_by_total(self, node130, lengths, fraction):
+        problem = make_tiny_problem(
+            node130, sorted(lengths, reverse=True), repeater_fraction=fraction
+        )
+        result = compute_rank(problem, repeater_units=32)
+        assert 0 <= result.rank <= problem.wld.total_wires
+        assert 0.0 <= result.normalized <= 1.0
+        if not result.fits:
+            assert result.rank == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        lengths=st.sets(
+            st.integers(min_value=2, max_value=1500), min_size=2, max_size=6
+        )
+    )
+    def test_prefix_property(self, node130, lengths):
+        """If rank = k, solving the k-wire sub-problem of the longest
+        wires cannot do worse (its constraints are a subset)."""
+        problem = make_tiny_problem(node130, sorted(lengths, reverse=True))
+        result = compute_rank(problem, repeater_units=32)
+        if 0 < result.rank < problem.wld.total_wires:
+            sub = dataclasses.replace(
+                problem, wld=problem.wld.prefix(result.rank)
+            )
+            sub_result = compute_rank(sub, repeater_units=32)
+            assert sub_result.rank >= result.rank
+
+
+class TestSolverConsistency:
+    def test_dp_at_least_greedy_baseline_scale(self, small_baseline):
+        dp = compute_rank(small_baseline, solver="dp", **FAST)
+        greedy = compute_rank(small_baseline, solver="greedy", bunch_size=2000)
+        assert dp.rank >= greedy.rank
+
+    def test_rank_independent_of_witness_collection(self, small_baseline):
+        plain = compute_rank(small_baseline, **FAST)
+        witnessed = compute_rank(small_baseline, collect_witness=True, **FAST)
+        assert plain.rank == witnessed.rank

@@ -1,0 +1,73 @@
+"""Tests for the Elmore cross-validation model."""
+
+import pytest
+
+from repro.delay.elmore import elmore_segment_delay, elmore_wire_delay
+from repro.delay.ottenbrayton import wire_delay
+from repro.errors import DelayModelError
+from repro.rc.models import WireRC
+from repro.tech.device import DeviceParameters
+
+
+@pytest.fixture
+def rc():
+    return WireRC(resistance=3.2e5, capacitance=3.0e-10)
+
+
+@pytest.fixture
+def device():
+    return DeviceParameters(
+        output_resistance=2500.0,
+        input_capacitance=0.6e-15,
+        parasitic_capacitance=0.4e-15,
+        min_inverter_area=2.5e-14,
+    )
+
+
+class TestElmore:
+    def test_positive(self, rc, device):
+        assert elmore_segment_delay(rc, device, 10.0, 1e-3) > 0
+
+    def test_wire_is_stages_times_segment(self, rc, device):
+        total = elmore_wire_delay(rc, device, 10.0, 4, 2e-3)
+        assert total == pytest.approx(
+            4 * elmore_segment_delay(rc, device, 10.0, 5e-4)
+        )
+
+    def test_invalid_inputs(self, rc, device):
+        with pytest.raises(DelayModelError):
+            elmore_segment_delay(rc, device, 0.0, 1e-3)
+        with pytest.raises(DelayModelError):
+            elmore_segment_delay(rc, device, 1.0, -1.0)
+        with pytest.raises(DelayModelError):
+            elmore_wire_delay(rc, device, 1.0, 0, 1e-3)
+
+
+class TestCrossValidation:
+    """The two independent delay models must agree on trends."""
+
+    def test_same_order_of_magnitude(self, rc, device):
+        for length in (1e-4, 1e-3, 5e-3):
+            ob = wire_delay(rc, device, 20.0, 3, length)
+            el = elmore_wire_delay(rc, device, 20.0, 3, length)
+            assert 0.3 < ob / el < 3.0
+
+    def test_both_benefit_from_repeaters_on_long_wires(self, rc, device):
+        length = 8e-3
+        assert elmore_wire_delay(rc, device, 30.0, 6, length) < elmore_wire_delay(
+            rc, device, 30.0, 1, length
+        )
+        assert wire_delay(rc, device, 30.0, 6, length) < wire_delay(
+            rc, device, 30.0, 1, length
+        )
+
+    def test_both_monotone_in_length(self, rc, device):
+        for model in (wire_delay, elmore_wire_delay):
+            assert model(rc, device, 10.0, 2, 2e-3) > model(rc, device, 10.0, 2, 1e-3)
+
+    def test_both_monotone_in_capacitance(self, device, rc):
+        high_c = rc.scaled(c_factor=2.0)
+        for model in (wire_delay, elmore_wire_delay):
+            assert model(high_c, device, 10.0, 2, 1e-3) > model(
+                rc, device, 10.0, 2, 1e-3
+            )

@@ -1,0 +1,147 @@
+"""Tests for the switching-power companion metric."""
+
+import pytest
+
+from repro import ArchitectureSpec, build_architecture, compute_rank
+from repro.core.scenarios import baseline_problem
+from repro.errors import RankComputationError
+from repro.power.model import (
+    PowerModel,
+    repeater_switching_energy,
+    sweep_rank_power,
+    wire_switching_energy,
+    witness_power,
+)
+from repro.rc.models import WireRC
+from repro.tech.device import DeviceParameters
+
+FAST = dict(bunch_size=2000, repeater_units=128)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return baseline_problem("130nm", 100_000)
+
+
+@pytest.fixture(scope="module")
+def solved(problem):
+    result = compute_rank(problem, collect_witness=True, **FAST)
+    tables, _ = problem.tables(bunch_size=2000)
+    return tables, result
+
+
+@pytest.fixture
+def device():
+    return DeviceParameters(
+        output_resistance=2290.0,
+        input_capacitance=0.6e-15,
+        parasitic_capacitance=0.4e-15,
+        min_inverter_area=2.5e-14,
+        supply_voltage=1.2,
+    )
+
+
+class TestPrimitives:
+    def test_wire_energy_cv2(self):
+        rc = WireRC(resistance=1e5, capacitance=2e-10)
+        assert wire_switching_energy(rc, 1e-3, 1.2) == pytest.approx(
+            2e-10 * 1e-3 * 1.44
+        )
+
+    def test_wire_energy_linear_in_length(self):
+        rc = WireRC(resistance=1e5, capacitance=2e-10)
+        assert wire_switching_energy(rc, 2e-3, 1.0) == pytest.approx(
+            2 * wire_switching_energy(rc, 1e-3, 1.0)
+        )
+
+    def test_wire_energy_quadratic_in_vdd(self):
+        rc = WireRC(resistance=1e5, capacitance=2e-10)
+        assert wire_switching_energy(rc, 1e-3, 2.0) == pytest.approx(
+            4 * wire_switching_energy(rc, 1e-3, 1.0)
+        )
+
+    def test_repeater_energy(self, device):
+        energy = repeater_switching_energy(device, 50.0, 3, 1.2)
+        assert energy == pytest.approx(3 * 50 * 1.0e-15 * 1.44)
+
+    def test_zero_stages_zero_energy(self, device):
+        assert repeater_switching_energy(device, 50.0, 0, 1.2) == 0.0
+
+    def test_validation(self, device):
+        rc = WireRC(resistance=1e5, capacitance=2e-10)
+        with pytest.raises(RankComputationError):
+            wire_switching_energy(rc, -1.0, 1.2)
+        with pytest.raises(RankComputationError):
+            wire_switching_energy(rc, 1.0, 0.0)
+        with pytest.raises(RankComputationError):
+            repeater_switching_energy(device, 0.0, 1, 1.2)
+        with pytest.raises(RankComputationError):
+            repeater_switching_energy(device, 1.0, -1, 1.2)
+
+
+class TestPowerModel:
+    def test_defaults(self, device):
+        model = PowerModel()
+        assert model.vdd(device) == pytest.approx(1.2)
+
+    def test_override(self, device):
+        model = PowerModel(supply_voltage=0.9)
+        assert model.vdd(device) == pytest.approx(0.9)
+
+    def test_invalid_activity(self):
+        with pytest.raises(RankComputationError):
+            PowerModel(activity_factor=0.0)
+        with pytest.raises(RankComputationError):
+            PowerModel(activity_factor=1.5)
+
+
+class TestWitnessPower:
+    def test_breakdown_positive(self, solved):
+        tables, result = solved
+        power = witness_power(tables, result.witness, 5e8)
+        assert power.wire_power > 0
+        assert power.repeater_power > 0
+        assert power.total == pytest.approx(
+            power.wire_power + power.repeater_power
+        )
+
+    def test_covers_rank_wires(self, solved):
+        tables, result = solved
+        power = witness_power(tables, result.witness, 5e8)
+        assert power.wires == result.rank
+
+    def test_linear_in_clock(self, solved):
+        tables, result = solved
+        slow = witness_power(tables, result.witness, 5e8)
+        fast = witness_power(tables, result.witness, 1e9)
+        assert fast.total == pytest.approx(2 * slow.total)
+
+    def test_linear_in_activity(self, solved):
+        tables, result = solved
+        low = witness_power(tables, result.witness, 5e8, PowerModel(0.1))
+        high = witness_power(tables, result.witness, 5e8, PowerModel(0.2))
+        assert high.total == pytest.approx(2 * low.total)
+
+    def test_plausible_magnitude(self, solved):
+        """A 100k-gate prefix at 500 MHz: milliwatts to a few watts."""
+        tables, result = solved
+        power = witness_power(tables, result.witness, 5e8)
+        assert 1e-5 < power.total < 10.0
+
+    def test_invalid_clock(self, solved):
+        tables, result = solved
+        with pytest.raises(RankComputationError):
+            witness_power(tables, result.witness, 0.0)
+
+
+class TestRankPowerSweep:
+    def test_lower_k_more_rank_less_power_per_wire(self, problem):
+        """The co-optimization story: low-k buys rank AND energy."""
+        problems = []
+        for k in (3.9, 2.8):
+            spec = ArchitectureSpec(node=problem.die.node, permittivity=k)
+            problems.append((k, problem.with_arch(build_architecture(spec))))
+        rows = sweep_rank_power(problems, bunch_size=2000, repeater_units=128)
+        (k_hi, res_hi, pow_hi), (k_lo, res_lo, pow_lo) = rows
+        assert res_lo.rank > res_hi.rank
+        assert pow_lo.per_wire() < pow_hi.per_wire()

@@ -1,0 +1,73 @@
+"""Tests for the WireRC bundle and extraction entry point."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.rc.capacitance import ParallelPlateFringeModel, total_capacitance_per_length
+from repro.rc.models import WireRC, extract_wire_rc
+from repro.rc.resistance import resistance_per_length
+from repro.tech.materials import COPPER, SIO2
+from repro.tech.node import MetalRule
+
+
+@pytest.fixture
+def rule():
+    return MetalRule(
+        min_width=units.um(0.2),
+        min_spacing=units.um(0.21),
+        thickness=units.um(0.34),
+    )
+
+
+class TestWireRC:
+    def test_rc_product(self):
+        rc = WireRC(resistance=1e5, capacitance=2e-10)
+        assert rc.rc_product == pytest.approx(2e-5)
+
+    @pytest.mark.parametrize("r,c", [(0.0, 1e-10), (1e5, 0.0), (-1.0, 1e-10)])
+    def test_non_positive_rejected(self, r, c):
+        with pytest.raises(ConfigurationError):
+            WireRC(resistance=r, capacitance=c)
+
+    def test_scaled(self):
+        rc = WireRC(resistance=1e5, capacitance=2e-10)
+        scaled = rc.scaled(r_factor=2.0, c_factor=0.5)
+        assert scaled.resistance == pytest.approx(2e5)
+        assert scaled.capacitance == pytest.approx(1e-10)
+
+    def test_scaled_rejects_non_positive(self):
+        rc = WireRC(resistance=1e5, capacitance=2e-10)
+        with pytest.raises(ConfigurationError):
+            rc.scaled(r_factor=0.0)
+
+
+class TestExtraction:
+    def test_resistance_matches_component(self, rule):
+        rc = extract_wire_rc(rule, COPPER, SIO2, miller_factor=2.0)
+        assert rc.resistance == pytest.approx(resistance_per_length(rule, COPPER))
+
+    def test_capacitance_matches_component(self, rule):
+        rc = extract_wire_rc(rule, COPPER, SIO2, miller_factor=2.0)
+        assert rc.capacitance == pytest.approx(
+            total_capacitance_per_length(rule, SIO2, 2.0)
+        )
+
+    def test_model_override(self, rule):
+        model = ParallelPlateFringeModel(fringe_factor=1.0)
+        rc = extract_wire_rc(rule, COPPER, SIO2, 2.0, capacitance_model=model)
+        assert rc.capacitance == pytest.approx(
+            total_capacitance_per_length(rule, SIO2, 2.0, model)
+        )
+
+    def test_miller_knob_moves_capacitance_only(self, rule):
+        worst = extract_wire_rc(rule, COPPER, SIO2, 2.0)
+        shielded = extract_wire_rc(rule, COPPER, SIO2, 1.0)
+        assert shielded.capacitance < worst.capacitance
+        assert shielded.resistance == pytest.approx(worst.resistance)
+
+    def test_permittivity_knob_moves_capacitance_only(self, rule):
+        oxide = extract_wire_rc(rule, COPPER, SIO2, 2.0)
+        lowk = extract_wire_rc(rule, COPPER, SIO2.scaled(2.0), 2.0)
+        assert lowk.capacitance < oxide.capacitance
+        assert lowk.resistance == pytest.approx(oxide.resistance)

@@ -1,0 +1,50 @@
+"""Tests for per-unit-length resistance extraction."""
+
+import pytest
+
+from repro import units
+from repro.rc.resistance import resistance_per_length
+from repro.tech.materials import ALUMINIUM, COPPER
+from repro.tech.node import MetalRule
+
+
+def make_rule(width_um, thickness_um):
+    return MetalRule(
+        min_width=units.um(width_um),
+        min_spacing=units.um(width_um),
+        thickness=units.um(thickness_um),
+    )
+
+
+class TestResistancePerLength:
+    def test_value(self):
+        rule = make_rule(0.2, 0.34)
+        expected = COPPER.resistivity / (units.um(0.2) * units.um(0.34))
+        assert resistance_per_length(rule, COPPER) == pytest.approx(expected)
+
+    def test_realistic_magnitude_semi_global_130nm(self):
+        """130 nm semi-global wires land in the 10^5 ohm/m decade."""
+        rule = make_rule(0.2, 0.34)
+        r = resistance_per_length(rule, COPPER)
+        assert 1e5 < r < 1e6
+
+    def test_realistic_magnitude_global_130nm(self):
+        rule = make_rule(0.44, 1.02)
+        r = resistance_per_length(rule, COPPER)
+        assert 1e4 < r < 1e5
+
+    def test_wider_wire_less_resistance(self):
+        narrow = resistance_per_length(make_rule(0.2, 0.34), COPPER)
+        wide = resistance_per_length(make_rule(0.4, 0.34), COPPER)
+        assert wide == pytest.approx(narrow / 2)
+
+    def test_thicker_wire_less_resistance(self):
+        thin = resistance_per_length(make_rule(0.2, 0.2), COPPER)
+        thick = resistance_per_length(make_rule(0.2, 0.4), COPPER)
+        assert thick == pytest.approx(thin / 2)
+
+    def test_material_dependence(self):
+        rule = make_rule(0.28, 0.588)
+        assert resistance_per_length(rule, ALUMINIUM) > resistance_per_length(
+            rule, COPPER
+        )

@@ -1,0 +1,59 @@
+"""Tests for via blockage accounting."""
+
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.rc.via import (
+    DEFAULT_VIAS_PER_WIRE,
+    via_blocked_area,
+    wire_via_count,
+)
+from repro.tech.node import ViaRule
+
+
+@pytest.fixture
+def via():
+    return ViaRule(min_width=units.um(0.26), enclosure=units.um(0.04))
+
+
+class TestWireViaCount:
+    def test_default(self):
+        assert wire_via_count() == DEFAULT_VIAS_PER_WIRE == 4
+
+    def test_override(self):
+        assert wire_via_count(2) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wire_via_count(-1)
+
+
+class TestViaBlockedArea:
+    def test_formula(self, via):
+        blocked = via_blocked_area(via, wire_count=10, repeater_count=5)
+        assert blocked == pytest.approx((5 + 4 * 10) * via.blocked_area)
+
+    def test_zero_traffic(self, via):
+        assert via_blocked_area(via, 0, 0) == 0.0
+
+    def test_fractional_counts_allowed(self, via):
+        assert via_blocked_area(via, 0.5, 0.0) == pytest.approx(
+            2.0 * via.blocked_area
+        )
+
+    def test_negative_counts_rejected(self, via):
+        with pytest.raises(ConfigurationError):
+            via_blocked_area(via, -1, 0)
+        with pytest.raises(ConfigurationError):
+            via_blocked_area(via, 0, -1)
+
+    def test_linear_in_wires(self, via):
+        one = via_blocked_area(via, 1, 0)
+        hundred = via_blocked_area(via, 100, 0)
+        assert hundred == pytest.approx(100 * one)
+
+    def test_custom_vias_per_wire(self, via):
+        assert via_blocked_area(via, 10, 0, vias_per_wire=2) == pytest.approx(
+            20 * via.blocked_area
+        )

@@ -1,0 +1,96 @@
+"""Tests for experiment persistence."""
+
+import json
+
+import pytest
+
+from repro.core.rank import compute_rank
+from repro.errors import ReproError
+from repro.reporting.persist import (
+    load_rank_result,
+    load_sweep,
+    save_rank_result,
+    save_sweep,
+)
+
+
+@pytest.fixture
+def result(tiny_problem):
+    return compute_rank(tiny_problem, collect_witness=True)
+
+
+class TestRankResultRoundTrip:
+    def test_full_round_trip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_rank_result(result, path)
+        loaded = load_rank_result(path)
+        assert loaded.rank == result.rank
+        assert loaded.normalized == pytest.approx(result.normalized)
+        assert loaded.fits == result.fits
+        assert loaded.solver == result.solver
+        assert loaded.stats.runtime_seconds == pytest.approx(
+            result.stats.runtime_seconds
+        )
+
+    def test_witness_round_trip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_rank_result(result, path)
+        loaded = load_rank_result(path)
+        if result.witness is None:
+            assert loaded.witness is None
+        else:
+            assert loaded.witness == result.witness
+
+    def test_no_witness(self, tiny_problem, tmp_path):
+        bare = compute_rank(tiny_problem)
+        path = tmp_path / "bare.json"
+        save_rank_result(bare, path)
+        assert load_rank_result(path).witness is None
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(ReproError, match="not a rank-result"):
+            load_rank_result(path)
+
+    def test_wrong_version_rejected(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_rank_result(result, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="version"):
+            load_rank_result(path)
+
+    def test_missing_field_rejected(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_rank_result(result, path)
+        payload = json.loads(path.read_text())
+        del payload["result"]["rank"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="malformed"):
+            load_rank_result(path)
+
+
+class TestSweepRoundTrip:
+    def test_round_trip(self, small_baseline, tmp_path):
+        from repro.analysis.sweep import sweep_repeater_fraction
+
+        sweep = sweep_repeater_fraction(
+            small_baseline, values=[0.2, 0.4], bunch_size=2000, repeater_units=64
+        )
+        path = tmp_path / "sweep.json"
+        save_sweep(sweep, path)
+        loaded = load_sweep(path)
+        assert loaded.name == sweep.name
+        assert loaded.values() == sweep.values()
+        assert loaded.normalized_ranks() == pytest.approx(
+            sweep.normalized_ranks()
+        )
+        assert loaded.paper_ranks() == sweep.paper_ranks()
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({"format": "nope", "version": 1}))
+        with pytest.raises(ReproError, match="not a sweep"):
+            load_sweep(path)

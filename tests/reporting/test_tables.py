@@ -1,0 +1,105 @@
+"""Tests for paper-shaped report tables."""
+
+import pytest
+
+from repro.analysis.compare import NodeBaseline
+from repro.analysis.sensitivity import EquivalencePoint
+from repro.analysis.sweep import SweepPoint, SweepResult
+from repro.core.dp import SolverStats
+from repro.core.rank import RankResult
+from repro.reporting.tables import (
+    format_equivalence_table,
+    format_node_table,
+    format_sweep_table,
+    sweep_to_csv,
+)
+
+
+def make_result(rank=400, total=1000, fits=True):
+    return RankResult(
+        rank=rank,
+        normalized=rank / total,
+        total_wires=total,
+        fits=fits,
+        error_bound=10,
+        solver="dp",
+        stats=SolverStats(solver="dp"),
+    )
+
+
+@pytest.fixture
+def sweep():
+    return SweepResult(
+        name="K",
+        points=(
+            SweepPoint(value=3.9, result=make_result(397), paper_normalized=0.397288),
+            SweepPoint(value=1.8, result=make_result(575), paper_normalized=0.575947),
+        ),
+    )
+
+
+class TestSweepTable:
+    def test_contains_knob_values_and_ranks(self, sweep):
+        text = format_sweep_table(sweep)
+        assert "3.90" in text
+        assert "0.397000" in text
+        assert "0.397288" in text
+
+    def test_default_title(self, sweep):
+        assert "Table 4, column K" in format_sweep_table(sweep)
+
+    def test_custom_title(self, sweep):
+        assert format_sweep_table(sweep, title="X").startswith("X")
+
+    def test_missing_paper_value_dash(self):
+        sweep = SweepResult(
+            name="R", points=(SweepPoint(value=0.25, result=make_result()),)
+        )
+        assert "-" in format_sweep_table(sweep)
+
+    def test_scientific_formatting_for_frequency(self):
+        sweep = SweepResult(
+            name="C", points=(SweepPoint(value=5e8, result=make_result()),)
+        )
+        assert "5.00e+08" in format_sweep_table(sweep)
+
+
+class TestEquivalenceTable:
+    def test_rows(self):
+        points = [
+            EquivalencePoint(0.45, 0.20, 0.21),
+            EquivalencePoint(0.50, 0.38, None),
+        ]
+        text = format_equivalence_table(points)
+        assert "20.0%" in text
+        assert "21.0%" in text
+        assert "38.0%" in text
+        assert "-" in text  # the None reduction
+
+    def test_ratio_column(self):
+        text = format_equivalence_table([EquivalencePoint(0.5, 0.4, 0.4)])
+        assert "1.000" in text
+
+
+class TestNodeTable:
+    def test_rows(self):
+        baselines = [
+            NodeBaseline("130nm", 1_000_000, make_result()),
+            NodeBaseline("90nm", 4_000_000, make_result(fits=False)),
+        ]
+        text = format_node_table(baselines)
+        assert "130nm/1M" in text
+        assert "90nm/4M" in text
+        assert "NO" in text
+
+
+class TestCSV:
+    def test_csv_round_trippable(self, sweep):
+        import csv
+        import io
+
+        text = sweep_to_csv(sweep)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["K", "normalized_rank_repro", "normalized_rank_paper"]
+        assert float(rows[1][0]) == pytest.approx(3.9)
+        assert float(rows[1][1]) == pytest.approx(0.397)

@@ -1,0 +1,38 @@
+"""Tests for the text table renderer."""
+
+import pytest
+
+from repro.reporting.text import format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "bb" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["label", "num"], [["a", 1], ["long-label", 12345]])
+        lines = text.splitlines()
+        # first column left-aligned, second right-aligned
+        assert lines[2].startswith("a ")
+        assert lines[2].rstrip().endswith("1")
+
+    def test_width_adapts_to_content(self):
+        text = format_table(["h"], [["wide-content-here"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) >= len("wide-content-here")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2

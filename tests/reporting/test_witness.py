@@ -1,0 +1,63 @@
+"""Tests for assignment usage reports."""
+
+import pytest
+
+from repro.core.rank import compute_rank
+from repro.errors import RankComputationError
+from repro.reporting.witness import assignment_usage, format_assignment_report
+
+
+@pytest.fixture(scope="module")
+def solved(small_baseline):
+    result = compute_rank(
+        small_baseline, bunch_size=2000, repeater_units=128, collect_witness=True
+    )
+    tables, _ = small_baseline.tables(bunch_size=2000)
+    return tables, result
+
+
+class TestAssignmentUsage:
+    def test_covers_every_wire(self, solved):
+        tables, result = solved
+        usage = assignment_usage(tables, result)
+        total = sum(u.prefix_wires + u.suffix_wires for u in usage)
+        assert total == tables.total_wires
+
+    def test_prefix_total_equals_rank(self, solved):
+        tables, result = solved
+        usage = assignment_usage(tables, result)
+        assert sum(u.prefix_wires for u in usage) == result.rank
+
+    def test_one_row_per_pair_in_order(self, solved):
+        tables, result = solved
+        usage = assignment_usage(tables, result)
+        assert [u.pair for u in usage] == list(range(tables.num_pairs))
+        assert usage[0].name == tables.arch.top.name
+
+    def test_utilization_bounded(self, solved):
+        tables, result = solved
+        for u in assignment_usage(tables, result):
+            assert 0.0 <= u.utilization <= 1.0 + 1e-6
+
+    def test_area_within_capacity(self, solved):
+        tables, result = solved
+        for u in assignment_usage(tables, result):
+            assert u.area_used <= u.capacity * (1 + 1e-9)
+
+    def test_requires_witness(self, small_baseline):
+        result = compute_rank(small_baseline, bunch_size=2000, repeater_units=128)
+        tables, _ = small_baseline.tables(bunch_size=2000)
+        with pytest.raises(RankComputationError, match="witness"):
+            assignment_usage(tables, result)
+
+
+class TestFormattedReport:
+    def test_mentions_every_pair(self, solved):
+        tables, result = solved
+        text = format_assignment_report(tables, result)
+        for pair in tables.arch:
+            assert pair.name in text
+
+    def test_title_contains_rank(self, solved):
+        tables, result = solved
+        assert f"{result.rank:,}" in format_assignment_report(tables, result)

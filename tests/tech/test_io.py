@@ -1,0 +1,83 @@
+"""Tests for technology-node serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.io import load_node, node_from_dict, node_to_dict, save_node
+from repro.tech.presets import NODE_90NM, NODE_130NM, NODE_180NM
+
+
+@pytest.mark.parametrize("node", [NODE_180NM, NODE_130NM, NODE_90NM])
+class TestRoundTrip:
+    def test_dict_round_trip(self, node):
+        restored = node_from_dict(node_to_dict(node))
+        assert restored.name == node.name
+        assert restored.feature_size == pytest.approx(node.feature_size)
+        for tier in ("local", "semi_global", "global"):
+            assert restored.metal(tier) == node.metal(tier)
+            assert restored.via(tier) == node.via(tier)
+        assert restored.device == node.device
+        assert restored.conductor == node.conductor
+        assert restored.dielectric == node.dielectric
+
+    def test_file_round_trip(self, node, tmp_path):
+        path = tmp_path / "node.json"
+        save_node(node, path)
+        restored = load_node(path)
+        assert restored.metal("global") == node.metal("global")
+        assert restored.device.supply_voltage == pytest.approx(
+            node.device.supply_voltage
+        )
+
+    def test_round_tripped_node_solves(self, node, tmp_path):
+        """A reloaded node must drive the full rank pipeline."""
+        from repro.core.scenarios import baseline_problem
+        from repro import compute_rank
+        import repro.tech.presets as presets
+
+        path = tmp_path / "node.json"
+        save_node(node, path)
+        restored = load_node(path)
+        # build the problem manually on the restored node
+        from repro import ArchitectureSpec, DieModel, RankProblem, build_architecture
+        from repro.wld.davis import DavisParameters, davis_wld
+
+        problem = RankProblem(
+            arch=build_architecture(ArchitectureSpec(node=restored)),
+            die=DieModel(node=restored, gate_count=50_000, repeater_fraction=0.4),
+            wld=davis_wld(DavisParameters(gate_count=50_000)),
+            clock_frequency=5e8,
+        )
+        result = compute_rank(problem, bunch_size=2000, repeater_units=128)
+        # identical physics to the preset node
+        baseline = baseline_problem(node.name, 50_000)
+        expected = compute_rank(baseline, bunch_size=2000, repeater_units=128)
+        assert result.rank == expected.rank
+
+
+class TestErrorHandling:
+    def test_missing_key_rejected(self):
+        payload = node_to_dict(NODE_130NM)
+        del payload["device"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            node_from_dict(payload)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            load_node(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            load_node(path)
+
+    def test_bad_values_rejected(self):
+        payload = node_to_dict(NODE_130NM)
+        payload["metal_rules"]["local"]["min_width"] = -1.0
+        with pytest.raises(ConfigurationError):
+            node_from_dict(payload)

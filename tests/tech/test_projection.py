@@ -1,0 +1,92 @@
+"""Tests for ITRS-style node projection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tech.presets import NODE_90NM
+from repro.tech.projection import project_node, roadmap_nodes
+
+
+class TestProjection:
+    def test_one_generation_geometry(self):
+        projected = project_node(NODE_90NM)
+        assert projected.feature_size == pytest.approx(0.7 * NODE_90NM.feature_size)
+        for tier in ("local", "semi_global", "global"):
+            assert projected.metal(tier).min_width == pytest.approx(
+                0.7 * NODE_90NM.metal(tier).min_width
+            )
+            assert projected.via(tier).min_width == pytest.approx(
+                0.7 * NODE_90NM.via(tier).min_width
+            )
+
+    def test_name_reflects_feature(self):
+        projected = project_node(NODE_90NM)
+        assert projected.name == "63nm-projected"
+
+    def test_device_scaling_rules(self):
+        projected = project_node(NODE_90NM)
+        base = NODE_90NM.device
+        assert projected.device.output_resistance == pytest.approx(
+            base.output_resistance
+        )
+        assert projected.device.input_capacitance == pytest.approx(
+            0.7 * base.input_capacitance
+        )
+        assert projected.device.min_inverter_area == pytest.approx(
+            0.49 * base.min_inverter_area
+        )
+        assert projected.device.supply_voltage == pytest.approx(
+            base.supply_voltage * 0.7 ** 0.5
+        )
+
+    def test_two_generations_compose(self):
+        two = project_node(NODE_90NM, generations=2)
+        assert two.feature_size == pytest.approx(0.49 * NODE_90NM.feature_size)
+
+    def test_materials_carried_over(self):
+        projected = project_node(NODE_90NM)
+        assert projected.conductor == NODE_90NM.conductor
+        assert projected.dielectric == NODE_90NM.dielectric
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            project_node(NODE_90NM, generations=0)
+        with pytest.raises(ConfigurationError):
+            project_node(NODE_90NM, shrink=1.0)
+        with pytest.raises(ConfigurationError):
+            project_node(NODE_90NM, shrink=0.0)
+
+
+class TestRoadmapNodes:
+    def test_sequence(self):
+        nodes = roadmap_nodes(NODE_90NM, generations=2)
+        assert len(nodes) == 3
+        assert nodes[0] is NODE_90NM
+        assert nodes[1].feature_size > nodes[2].feature_size
+
+    def test_projected_node_solves(self):
+        """A projected 63 nm node drives the full rank pipeline and
+        continues the cross-node trend (>= the 90 nm rank)."""
+        from repro import (
+            ArchitectureSpec,
+            DieModel,
+            RankProblem,
+            build_architecture,
+            compute_rank,
+        )
+        from repro.core.scenarios import baseline_problem
+        from repro.wld.davis import DavisParameters, davis_wld
+
+        projected = project_node(NODE_90NM)
+        problem = RankProblem(
+            arch=build_architecture(ArchitectureSpec(node=projected)),
+            die=DieModel(node=projected, gate_count=50_000, repeater_fraction=0.4),
+            wld=davis_wld(DavisParameters(gate_count=50_000)),
+            clock_frequency=5e8,
+        )
+        result = compute_rank(problem, bunch_size=2000, repeater_units=128)
+        base = compute_rank(
+            baseline_problem("90nm", 50_000), bunch_size=2000, repeater_units=128
+        )
+        assert result.fits
+        assert result.rank >= base.rank

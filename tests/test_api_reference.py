@@ -1,0 +1,42 @@
+"""The generated API reference must stay current and complete."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+TOOL = ROOT / "tools" / "gen_api_reference.py"
+
+
+def run_tool(argv):
+    saved = sys.argv
+    sys.argv = [str(TOOL)] + argv
+    try:
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_path(str(TOOL), run_name="__main__")
+        return excinfo.value.code
+    finally:
+        sys.argv = saved
+
+
+def test_reference_is_current():
+    assert run_tool(["--check"]) == 0
+
+
+def test_regeneration_round_trip(tmp_path):
+    out = tmp_path / "api.md"
+    assert run_tool(["--output", str(out)]) == 0
+    text = out.read_text()
+    assert text.startswith("# API reference")
+    # spot-check a few core symbols made it in
+    for symbol in ("compute_rank", "WireLengthDistribution", "davis_wld",
+                   "solve_rank_dp", "optimize_architecture"):
+        assert symbol in text
+
+
+def test_check_detects_staleness(tmp_path):
+    out = tmp_path / "api.md"
+    out.write_text("stale")
+    assert run_tool(["--check", "--output", str(out)]) == 1

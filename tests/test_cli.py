@@ -1,0 +1,150 @@
+"""Tests for the ia-rank command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rank_defaults(self):
+        args = build_parser().parse_args(["rank"])
+        assert args.node == "130nm"
+        assert args.gates == 1_000_000
+        assert args.solver == "dp"
+
+    def test_sweep_knob_choices(self):
+        args = build_parser().parse_args(["sweep", "K"])
+        assert args.knob == "K"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "Z"])
+
+
+class TestCommands:
+    def test_rank_command(self, capsys):
+        code = main(
+            ["rank", "--gates", "50000", "--bunch", "2000", "--units", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+        assert "normalized" in out
+
+    def test_rank_greedy_solver(self, capsys):
+        code = main(
+            ["rank", "--gates", "50000", "--bunch", "2000", "--solver", "greedy"]
+        )
+        assert code == 0
+        assert "greedy" in capsys.readouterr().out
+
+    def test_wld_command_summary(self, capsys):
+        code = main(["wld", "--gates", "10000"])
+        assert code == 0
+        assert "wires" in capsys.readouterr().out
+
+    def test_wld_command_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "wld.csv"
+        code = main(["wld", "--gates", "10000", "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        from repro.wld.io import load_wld_csv
+
+        wld = load_wld_csv(out_file)
+        assert wld.total_wires > 0
+
+    def test_sweep_command_csv(self, capsys):
+        code = main(
+            [
+                "sweep", "R",
+                "--gates", "50000",
+                "--bunch", "2000",
+                "--units", "64",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("R,normalized_rank_repro")
+        assert len(out.strip().splitlines()) == 6  # header + 5 R points
+
+    def test_error_reported_as_exit_code(self, capsys):
+        code = main(["rank", "--node", "65nm"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corners_command(self, capsys):
+        code = main(
+            ["corners", "--gates", "20000", "--bunch", "2000", "--units", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Rank across corners" in out
+        assert "sign-off rank" in out
+
+    def test_report_command(self, capsys):
+        code = main(
+            ["report", "--gates", "20000", "--bunch", "2000", "--units", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Assignment for rank" in out
+        assert "timing:" in out
+
+    def test_node_file_option(self, tmp_path, capsys):
+        from repro.tech.io import save_node
+        from repro.tech.presets import NODE_130NM
+
+        path = tmp_path / "node.json"
+        save_node(NODE_130NM, path)
+        code = main(
+            [
+                "rank",
+                "--node-file", str(path),
+                "--gates", "20000",
+                "--bunch", "2000",
+                "--units", "64",
+            ]
+        )
+        assert code == 0
+        assert "rank" in capsys.readouterr().out
+
+    def test_node_file_errors_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        code = main(["rank", "--node-file", str(path)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_curve_command(self, capsys):
+        code = main(
+            [
+                "curve",
+                "--gates", "20000",
+                "--bunch", "2000",
+                "--units", "32",
+                "--points", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Budget-rank curve" in out
+
+    def test_optimize_command(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--gates", "50000",
+                "--bunch", "2000",
+                "--units", "64",
+                "--k-classes", "3.9,2.8",
+                "--m-classes", "2.0",
+                "--max-layers", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Pareto" in out
+        assert "best:" in out

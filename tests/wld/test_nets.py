@@ -1,0 +1,161 @@
+"""Tests for multi-terminal net decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WLDError
+from repro.wld.nets import (
+    Net,
+    decompose_net,
+    manhattan,
+    synthetic_netlist,
+    wld_from_nets,
+)
+
+coords = st.tuples(
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+
+
+class TestNet:
+    def test_fanout(self):
+        net = Net(source=(0, 0), sinks=((1, 1), (2, 0)))
+        assert net.fanout == 2
+
+    def test_needs_sinks(self):
+        with pytest.raises(WLDError):
+            Net(source=(0, 0), sinks=())
+
+
+class TestManhattan:
+    def test_value(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+
+    def test_symmetric(self):
+        assert manhattan((1, 5), (4, 2)) == manhattan((4, 2), (1, 5))
+
+
+class TestDecomposition:
+    def test_star_lengths(self):
+        net = Net(source=(0, 0), sinks=((3, 0), (0, 4)))
+        assert sorted(decompose_net(net, "star")) == [3, 4]
+
+    def test_chain_visits_nearest_first(self):
+        net = Net(source=(0, 0), sinks=((10, 0), (1, 0)))
+        assert decompose_net(net, "chain") == [1, 9]
+
+    def test_chain_never_longer_than_star(self):
+        net = Net(source=(0, 0), sinks=((5, 0), (6, 0), (7, 0)))
+        star = sum(decompose_net(net, "star"))
+        chain = sum(decompose_net(net, "chain"))
+        assert chain <= star
+
+    def test_zero_length_dropped(self):
+        net = Net(source=(0, 0), sinks=((0, 0), (2, 0)))
+        assert decompose_net(net, "star") == [2]
+
+    def test_unknown_model_rejected(self):
+        net = Net(source=(0, 0), sinks=((1, 0),))
+        with pytest.raises(WLDError):
+            decompose_net(net, "steiner")
+
+    def test_chain_can_exceed_star(self):
+        """Opposite-direction sinks: the chain backtracks, the star
+        does not — chain <= star is NOT a theorem."""
+        net = Net(source=(0, 0), sinks=((0, 1), (1, 0)))
+        assert sum(decompose_net(net, "chain")) > sum(
+            decompose_net(net, "star")
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(source=coords, sinks=st.lists(coords, min_size=1, max_size=6))
+    def test_chain_hop_count_bounded_property(self, source, sinks):
+        net = Net(source=source, sinks=tuple(sinks))
+        chain = decompose_net(net, "chain")
+        assert len(chain) <= net.fanout
+        assert all(l > 0 for l in chain)
+
+    @settings(max_examples=50, deadline=None)
+    @given(source=coords, sinks=st.lists(coords, min_size=1, max_size=6))
+    def test_star_wire_count_equals_fanout_property(self, source, sinks):
+        net = Net(source=source, sinks=tuple(sinks))
+        nonzero = [s for s in sinks if manhattan(source, s) > 0]
+        assert len(decompose_net(net, "star")) == len(nonzero)
+
+
+class TestWLDFromNets:
+    def test_counts_and_ordering(self):
+        nets = [
+            Net(source=(0, 0), sinks=((5, 0), (3, 0))),
+            Net(source=(0, 0), sinks=((5, 0),)),
+        ]
+        wld = wld_from_nets(nets)
+        assert wld.total_wires == 3
+        assert wld.max_length == 5
+
+    def test_min_length_clamp(self):
+        nets = [Net(source=(0, 0), sinks=((0.4, 0),))]
+        wld = wld_from_nets(nets, min_length=1.0)
+        assert wld.min_length == 1.0
+
+    def test_empty_rejected(self):
+        nets = [Net(source=(0, 0), sinks=((0, 0),))]
+        with pytest.raises(WLDError):
+            wld_from_nets(nets)
+
+    def test_invalid_min_length(self):
+        nets = [Net(source=(0, 0), sinks=((1, 0),))]
+        with pytest.raises(WLDError):
+            wld_from_nets(nets, min_length=0.0)
+
+
+class TestSyntheticNetlist:
+    def test_deterministic(self):
+        a = synthetic_netlist(10_000, 100, seed=7)
+        b = synthetic_netlist(10_000, 100, seed=7)
+        assert a == b
+
+    def test_size(self):
+        nets = synthetic_netlist(10_000, 250)
+        assert len(nets) == 250
+
+    def test_short_nets_dominate(self):
+        """Locality makes the WLD Davis-shaped: most wires short."""
+        nets = synthetic_netlist(40_000, 2000, locality=0.01)
+        wld = wld_from_nets(nets)
+        short = sum(c for l, c in wld if l <= 6)
+        assert short / wld.total_wires > 0.5
+
+    def test_locality_controls_mean_length(self):
+        tight = wld_from_nets(synthetic_netlist(40_000, 1000, locality=0.02))
+        loose = wld_from_nets(synthetic_netlist(40_000, 1000, locality=0.5))
+        assert tight.mean_length < loose.mean_length
+
+    def test_validation(self):
+        with pytest.raises(WLDError):
+            synthetic_netlist(2, 10)
+        with pytest.raises(WLDError):
+            synthetic_netlist(100, 0)
+        with pytest.raises(WLDError):
+            synthetic_netlist(100, 10, locality=0.0)
+        with pytest.raises(WLDError):
+            synthetic_netlist(100, 10, mean_fanout=0.5)
+
+    def test_end_to_end_rank(self, node130):
+        """A netlist-derived WLD drives the full rank pipeline."""
+        from repro import DieModel, RankProblem, compute_rank
+        from repro import ArchitectureSpec, build_architecture
+
+        nets = synthetic_netlist(40_000, 3000, locality=0.05)
+        wld = wld_from_nets(nets)
+        problem = RankProblem(
+            arch=build_architecture(ArchitectureSpec(node=node130)),
+            die=DieModel(node=node130, gate_count=40_000, repeater_fraction=0.4),
+            wld=wld,
+            clock_frequency=5e8,
+        )
+        result = compute_rank(problem, repeater_units=128)
+        assert result.fits
+        assert 0 < result.rank <= wld.total_wires

@@ -1,0 +1,97 @@
+"""Tests for WLD statistics utilities."""
+
+import pytest
+
+from repro.errors import WLDError
+from repro.wld.davis import DavisParameters, davis_wld
+from repro.wld.distribution import WireLengthDistribution
+from repro.wld.stats import (
+    cdf_distance,
+    length_class_table,
+    mean_length_ratio,
+    share_at_least,
+    summarize,
+)
+from repro.wld.synthetic import wld_from_pairs
+
+
+@pytest.fixture
+def wld():
+    return wld_from_pairs([(10.0, 1), (4.0, 3), (2.0, 6), (1.0, 10)])
+
+
+class TestShares:
+    def test_share_at_least(self, wld):
+        assert share_at_least(wld, 1.0) == pytest.approx(1.0)
+        assert share_at_least(wld, 2.0) == pytest.approx(10 / 20)
+        assert share_at_least(wld, 4.0) == pytest.approx(4 / 20)
+        assert share_at_least(wld, 11.0) == 0.0
+
+    def test_paper_plateau_share(self):
+        wld = davis_wld(DavisParameters(gate_count=1_000_000))
+        assert share_at_least(wld, 3.0) == pytest.approx(0.309706, abs=2e-4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WLDError):
+            share_at_least(WireLengthDistribution.empty(), 1.0)
+
+
+class TestLengthClassTable:
+    def test_rows_structure(self, wld):
+        rows = length_class_table(wld, max_rows=3)
+        assert len(rows) == 3
+        lengths = [row[0] for row in rows]
+        assert lengths == sorted(lengths)
+        # the most populous class (l=1, count 10) must be included
+        assert (1.0, 10, pytest.approx(1.0)) in [
+            (r[0], r[1], r[2]) for r in rows
+        ]
+
+    def test_cumulative_share_column(self, wld):
+        rows = dict((row[0], row[2]) for row in length_class_table(wld))
+        assert rows[2.0] == pytest.approx(0.5)  # wires >= 2
+
+    def test_invalid_rows(self, wld):
+        with pytest.raises(WLDError):
+            length_class_table(wld, max_rows=0)
+
+
+class TestComparisons:
+    def test_mean_ratio(self, wld):
+        doubled = wld.scaled_lengths(2.0)
+        assert mean_length_ratio(doubled, wld) == pytest.approx(2.0)
+
+    def test_cdf_distance_zero_for_identical(self, wld):
+        assert cdf_distance(wld, wld) == pytest.approx(0.0)
+
+    def test_cdf_distance_scale_invariance_of_counts(self, wld):
+        """Duplicating every count leaves the shape unchanged."""
+        doubled = wld_from_pairs((l, 2 * c) for l, c in wld)
+        assert cdf_distance(wld, doubled) == pytest.approx(0.0)
+
+    def test_cdf_distance_detects_shift(self, wld):
+        shifted = wld.scaled_lengths(3.0)
+        assert cdf_distance(wld, shifted) > 0.4
+
+    def test_cdf_distance_bounded(self, wld):
+        far = wld_from_pairs([(1000.0, 5)])
+        assert 0.0 < cdf_distance(wld, far) <= 1.0
+
+    def test_empty_rejected(self, wld):
+        with pytest.raises(WLDError):
+            cdf_distance(wld, WireLengthDistribution.empty())
+
+
+class TestSummary:
+    def test_fields(self, wld):
+        digest = summarize(wld)
+        assert digest.total_wires == 20
+        assert digest.max_length == 10.0
+        assert digest.share_ge2 == pytest.approx(0.5)
+        assert digest.share_ge4 == pytest.approx(0.2)
+
+    def test_davis_digest_matches_paper_anchors(self):
+        digest = summarize(davis_wld(DavisParameters(gate_count=1_000_000)))
+        assert digest.total_wires == 2_988_057
+        assert digest.share_ge3 == pytest.approx(0.309725, abs=1e-6)
+        assert digest.share_ge4 == pytest.approx(0.235629, abs=1e-4)
