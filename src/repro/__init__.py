@@ -40,12 +40,23 @@ from .optimize import DesignSpace, optimize_architecture
 from .power import PowerModel, witness_power
 from .errors import (
     AssignmentError,
+    CheckpointError,
     ConfigurationError,
+    DeadlineExceeded,
     DelayModelError,
     RankComputationError,
     ReproError,
+    RunnerError,
     UnitsError,
     WLDError,
+)
+from .runner import (
+    BatchOutcome,
+    PointFailure,
+    PointSpec,
+    RetryPolicy,
+    RunJournal,
+    run_batch,
 )
 from .tech import (
     NODE_90NM,
@@ -107,6 +118,13 @@ __all__ = [
     "optimize_architecture",
     "PowerModel",
     "witness_power",
+    # fault-tolerant run harness
+    "BatchOutcome",
+    "PointFailure",
+    "PointSpec",
+    "RetryPolicy",
+    "RunJournal",
+    "run_batch",
     # errors
     "ReproError",
     "ConfigurationError",
@@ -115,4 +133,7 @@ __all__ = [
     "DelayModelError",
     "AssignmentError",
     "RankComputationError",
+    "RunnerError",
+    "CheckpointError",
+    "DeadlineExceeded",
 ]

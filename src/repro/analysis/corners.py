@@ -13,13 +13,19 @@ Corners compose with everything else: each corner is just a derived
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 
 from ..arch.builder import ArchitectureSpec, build_architecture
 from ..core.problem import RankProblem
 from ..core.rank import RankResult, compute_rank
 from ..errors import RankComputationError
+
+if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
+    from pathlib import Path
+
+    from ..runner.journal import PointFailure, RunJournal
+    from ..runner.policy import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -106,14 +112,33 @@ class CornerReport:
     Attributes
     ----------
     results:
-        ``(corner, result)`` in evaluation order.
+        ``(corner, result)`` in evaluation order; corners that failed
+        under a ``keep_going`` run are absent here and listed in
+        ``failures``.
+    failures:
+        Corners whose evaluation exhausted its retry budget.
+    journal:
+        Run journal of the batch execution (excluded from equality so
+        a resumed report compares equal to an uninterrupted one).
     """
 
     results: Tuple[Tuple[Corner, RankResult], ...]
+    failures: Tuple["PointFailure", ...] = ()
+    journal: Optional["RunJournal"] = field(default=None, compare=False)
+
+    @property
+    def is_complete(self) -> bool:
+        """True iff every requested corner produced a result."""
+        return not self.failures
 
     @property
     def worst(self) -> Tuple[Corner, RankResult]:
         """The binding corner (lowest rank; ties keep first)."""
+        if not self.results:
+            raise RankComputationError(
+                "corner report has no successful corners; "
+                "see report.failures for what went wrong"
+            )
         return min(self.results, key=lambda item: item[1].rank)
 
     @property
@@ -122,6 +147,11 @@ class CornerReport:
         for corner, result in self.results:
             if corner.name == "nominal":
                 return corner, result
+        if not self.results:
+            raise RankComputationError(
+                "corner report has no successful corners; "
+                "see report.failures for what went wrong"
+            )
         return self.results[0]
 
     @property
@@ -135,25 +165,65 @@ def rank_across_corners(
     corners: Sequence[Corner] = STANDARD_CORNERS,
     bunch_size: Optional[int] = None,
     repeater_units: int = 512,
+    policy: Optional["RetryPolicy"] = None,
+    keep_going: bool = False,
+    checkpoint: Optional[Union[str, "Path"]] = None,
+    resume: bool = False,
 ) -> CornerReport:
-    """Evaluate the rank at every corner.
+    """Evaluate the rank at every corner through the fault-tolerant harness.
 
     Returns a :class:`CornerReport`; ``report.worst`` is the sign-off
-    number.
+    number.  With ``keep_going=True`` a failing corner is recorded in
+    ``report.failures`` instead of aborting the sign-off; ``checkpoint``
+    / ``resume`` journal completed corners across interruptions (see
+    :func:`repro.runner.run_batch`).
     """
     if not corners:
         raise RankComputationError("need at least one corner")
-    results: List[Tuple[Corner, RankResult]] = []
-    for corner in corners:
-        variant = apply_corner(problem, corner)
-        results.append(
-            (
-                corner,
-                compute_rank(
-                    variant,
-                    bunch_size=bunch_size,
-                    repeater_units=repeater_units,
-                ),
-            )
+    names = [corner.name for corner in corners]
+    if len(set(names)) != len(names):
+        raise RankComputationError(
+            f"corner names must be unique (they key the checkpoint), got {names}"
         )
-    return CornerReport(results=tuple(results))
+
+    # Imported here, not at module top: the runner package reaches this
+    # module through repro.reporting.persist.
+    from ..reporting.persist import rank_result_from_dict, rank_result_to_dict
+    from ..runner.executor import PointSpec, run_batch
+    from ..runner.policy import scaled_bunch_size
+
+    specs = [
+        PointSpec(key=corner.name, value=corner, label=corner.name)
+        for corner in corners
+    ]
+
+    def evaluate(point: "PointSpec", attempt) -> RankResult:
+        variant = apply_corner(problem, point.value)
+        return compute_rank(
+            variant,
+            bunch_size=scaled_bunch_size(bunch_size, dict(attempt.degradation)),
+            repeater_units=repeater_units,
+            deadline=attempt.deadline,
+        )
+
+    outcome = run_batch(
+        "corners",
+        specs,
+        evaluate,
+        policy=policy,
+        keep_going=keep_going,
+        checkpoint_path=checkpoint,
+        resume=resume,
+        serialize=rank_result_to_dict,
+        deserialize=rank_result_from_dict,
+    )
+    results: List[Tuple[Corner, RankResult]] = [
+        (corner, outcome.results[corner.name])
+        for corner in corners
+        if corner.name in outcome.results
+    ]
+    return CornerReport(
+        results=tuple(results),
+        failures=outcome.failures,
+        journal=outcome.journal,
+    )

@@ -15,13 +15,19 @@ without copying numbers around.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..arch.builder import ArchitectureSpec, build_architecture
 from ..core.problem import RankProblem
 from ..core.rank import RankResult, compute_rank
 from ..errors import RankComputationError
+
+if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
+    from pathlib import Path
+
+    from ..runner.journal import PointFailure, RunJournal
+    from ..runner.policy import RetryPolicy
 
 #: Table 4 of the paper, column K: (ILD permittivity, normalized rank).
 PAPER_TABLE4_K: Tuple[Tuple[float, float], ...] = (
@@ -78,7 +84,7 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """A completed sweep over one knob.
+    """A (possibly partial) sweep over one knob.
 
     Attributes
     ----------
@@ -86,14 +92,34 @@ class SweepResult:
         Knob name: ``"K"``, ``"M"``, ``"C"`` or ``"R"`` (or a custom
         label for user-defined sweeps).
     points:
-        Sweep rows in the order swept.
+        *Completed* sweep rows in the order swept.  Under a
+        ``keep_going`` run, failed points are absent here and recorded
+        in ``failures`` instead — a gap is always explicit.
+    failures:
+        Points that exhausted their retry budget (empty for a clean
+        run).
+    journal:
+        Run journal of the batch execution, when the sweep ran through
+        the fault-tolerant harness.  Excluded from equality so a
+        resumed sweep compares equal to an uninterrupted one.
     """
 
     name: str
     points: Tuple[SweepPoint, ...]
+    failures: Tuple["PointFailure", ...] = ()
+    journal: Optional["RunJournal"] = field(default=None, compare=False)
+
+    @property
+    def is_complete(self) -> bool:
+        """True iff every requested point produced a result."""
+        return not self.failures
+
+    def failed_values(self) -> List[float]:
+        """Knob values whose evaluation failed, in sweep order."""
+        return [f.value for f in self.failures]
 
     def values(self) -> List[float]:
-        """Swept knob values."""
+        """Swept knob values (completed points only)."""
         return [p.value for p in self.points]
 
     def normalized_ranks(self) -> List[float]:
@@ -133,8 +159,16 @@ def run_sweep(
     bunch_size: Optional[int] = DEFAULT_BUNCH_SIZE,
     max_groups: Optional[int] = None,
     repeater_units: int = 512,
+    policy: Optional["RetryPolicy"] = None,
+    keep_going: bool = False,
+    checkpoint: Optional[Union[str, "Path"]] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Generic sweep engine: evaluate rank at each knob value.
+
+    Every point runs through the fault-tolerant harness
+    (:func:`repro.runner.run_batch`): one raising point no longer
+    discards the rest of the sweep.
 
     Parameters
     ----------
@@ -148,21 +182,73 @@ def run_sweep(
         Optional knob-value → paper-normalized-rank lookup.
     solver, bunch_size, max_groups, repeater_units:
         Forwarded to :func:`repro.core.rank.compute_rank`.
+    policy:
+        Retry/timeout/degradation policy; retries may coarsen
+        ``bunch_size`` along the policy's ladder (recorded in the
+        journal).  Default: single attempt, no timeout.
+    keep_going:
+        True: failing points become :class:`SweepResult.failures`
+        entries and the sweep stays partial.  False (strict): the first
+        exhausted point raises :class:`~repro.errors.RunnerError` after
+        checkpointing the completed prefix.
+    checkpoint:
+        Path journaled incrementally (atomic rewrite after every
+        completed point).
+    resume:
+        Reload ``checkpoint`` and recompute only missing points.
     """
-    points: List[SweepPoint] = []
-    for value in values:
-        result = compute_rank(
-            make_problem(value),
+    # Imported here, not at module top: repro.reporting.persist imports
+    # this module, and the runner package imports persist.
+    from ..reporting.persist import rank_result_from_dict, rank_result_to_dict
+    from ..runner.executor import PointSpec, run_batch
+    from ..runner.policy import scaled_bunch_size
+
+    specs = [
+        PointSpec(key=f"{name}[{i}]={value!r}", value=value, label=f"{name}={value:g}")
+        for i, value in enumerate(values)
+    ]
+
+    def evaluate(point: "PointSpec", attempt) -> RankResult:
+        return compute_rank(
+            make_problem(point.value),
             solver=solver,
-            bunch_size=bunch_size,
+            bunch_size=scaled_bunch_size(bunch_size, dict(attempt.degradation)),
             max_groups=max_groups,
             repeater_units=repeater_units,
+            deadline=attempt.deadline,
         )
+
+    outcome = run_batch(
+        f"sweep:{name}",
+        specs,
+        evaluate,
+        policy=policy,
+        keep_going=keep_going,
+        checkpoint_path=checkpoint,
+        resume=resume,
+        serialize=rank_result_to_dict,
+        deserialize=rank_result_from_dict,
+    )
+
+    points: List[SweepPoint] = []
+    for spec in specs:
+        if spec.key not in outcome.results:
+            continue  # failed point: the gap is recorded in failures
+        value = spec.value
         paper_value = paper.get(value) if paper else None
         points.append(
-            SweepPoint(value=value, result=result, paper_normalized=paper_value)
+            SweepPoint(
+                value=value,
+                result=outcome.results[spec.key],
+                paper_normalized=paper_value,
+            )
         )
-    return SweepResult(name=name, points=tuple(points))
+    return SweepResult(
+        name=name,
+        points=tuple(points),
+        failures=outcome.failures,
+        journal=outcome.journal,
+    )
 
 
 def _spec_from_problem(problem: RankProblem, **overrides) -> ArchitectureSpec:

@@ -15,10 +15,30 @@ Installed as ``ia-rank`` (see pyproject) and runnable as
 Any design-taking command accepts ``--node-file my_node.json`` to run
 on a custom JSON-described process.
 
+Multi-point commands (``sweep``, ``corners``, ``optimize``) run through
+the fault-tolerant harness (:mod:`repro.runner`) and accept
+``--keep-going`` (isolate failing points instead of aborting),
+``--checkpoint PATH`` (journal completed points atomically),
+``--resume PATH`` (recompute only missing points), ``--max-retries N``
+and ``--timeout-s S`` (per-attempt retry budget and wall-clock
+deadline, with deterministic bunch-size degradation on retries).
+
+Exit codes (stable contract, asserted by ``tests/test_cli.py``):
+
+* ``0`` (:data:`EXIT_OK`) — clean run, every requested point computed;
+* ``1`` (:data:`EXIT_FAILURE`) — total failure: a library error, or a
+  batch run in which *no* point produced a result;
+* ``2`` (:data:`EXIT_USAGE`) — command-line usage error (argparse);
+* ``3`` (:data:`EXIT_PARTIAL`) — partial failure: a ``--keep-going``
+  batch completed some points but recorded failures in the run
+  journal.
+
 Examples::
 
     ia-rank rank --node 130nm --gates 1000000 --bunch 10000
     ia-rank sweep K --gates 1000000
+    ia-rank sweep K --keep-going --checkpoint k.ckpt.json
+    ia-rank sweep K --resume k.ckpt.json
     ia-rank wld --gates 1000000 --out wld.csv
     ia-rank nodes
 """
@@ -26,6 +46,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -41,9 +62,19 @@ from .core.scenarios import baseline_problem
 from .errors import ReproError
 from .optimize import DesignSpace, optimize_architecture
 from .reporting.tables import format_node_table, format_sweep_table, sweep_to_csv
-from .reporting.text import format_table
+from .reporting.text import format_run_journal, format_table
+from .runner import RetryPolicy
 from .wld.davis import DavisParameters, davis_wld
 from .wld.io import save_wld_csv
+
+#: Clean run: every requested point computed.
+EXIT_OK = 0
+#: Total failure: library error, or a batch with zero successful points.
+EXIT_FAILURE = 1
+#: Usage error (argparse's convention).
+EXIT_USAGE = 2
+#: Partial failure: a --keep-going batch finished with journaled failures.
+EXIT_PARTIAL = 3
 
 _SWEEPS = {
     "K": sweep_permittivity,
@@ -90,6 +121,70 @@ def _add_design_args(parser: argparse.ArgumentParser) -> None:
         choices=("dp", "greedy"),
         help="rank solver (reference/exhaustive are test-only)",
     )
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags for multi-point commands."""
+    group = parser.add_argument_group("fault tolerance")
+    group.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="isolate failing points (partial result + exit code 3) "
+        "instead of aborting on the first failure",
+    )
+    group.add_argument(
+        "--checkpoint",
+        default="",
+        metavar="PATH",
+        help="journal completed points to PATH (atomic rewrite after "
+        "every point) so an interrupted run can --resume",
+    )
+    group.add_argument(
+        "--resume",
+        default="",
+        metavar="PATH",
+        help="resume from a checkpoint file: recompute only missing "
+        "points, keep journaling to the same PATH",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a failing point up to N extra times, coarsening "
+        "the bunch size 2x per retry (recorded in the run journal)",
+    )
+    group.add_argument(
+        "--timeout-s",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="per-attempt wall-clock budget in seconds, enforced "
+        "cooperatively inside the DP solver (0 disables)",
+    )
+
+
+def _runner_kwargs(args: argparse.Namespace) -> dict:
+    """Translate fault-tolerance flags into harness keywords."""
+    checkpoint = args.resume or args.checkpoint or None
+    return dict(
+        policy=RetryPolicy(
+            max_attempts=1 + max(0, args.max_retries),
+            timeout_s=args.timeout_s if args.timeout_s > 0 else None,
+        ),
+        keep_going=args.keep_going,
+        checkpoint=checkpoint,
+        resume=bool(args.resume),
+    )
+
+
+def _batch_exit_code(journal, n_results: int, n_failures: int) -> int:
+    """Exit code + journal print for a finished batch command."""
+    if n_failures:
+        print(file=sys.stderr)
+        print(format_run_journal(journal), file=sys.stderr)
+        return EXIT_PARTIAL if n_results else EXIT_FAILURE
+    return EXIT_OK
 
 
 def _problem_from_args(args: argparse.Namespace):
@@ -145,12 +240,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         solver=args.solver,
         bunch_size=args.bunch or None,
         repeater_units=args.units,
+        **_runner_kwargs(args),
     )
     if args.csv:
         print(sweep_to_csv(sweep), end="")
     else:
         print(format_sweep_table(sweep))
-    return 0
+    return _batch_exit_code(sweep.journal, len(sweep.points), len(sweep.failures))
 
 
 def _cmd_wld(args: argparse.Namespace) -> int:
@@ -190,6 +286,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         exhaustive_limit=args.exhaustive_limit,
         bunch_size=args.bunch or None,
         repeater_units=args.units,
+        **_runner_kwargs(args),
     )
     rows = [
         (c.label(), c.metal_layers, c.result.rank, f"{c.normalized:.6f}")
@@ -204,7 +301,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     )
     print()
     print(f"best: {outcome.best.label()} -> {outcome.best.result.summary()}")
-    return 0
+    return _batch_exit_code(
+        outcome.journal, len(outcome.evaluated), len(outcome.failures)
+    )
 
 
 def _cmd_corners(args: argparse.Namespace) -> int:
@@ -216,6 +315,7 @@ def _cmd_corners(args: argparse.Namespace) -> int:
         STANDARD_CORNERS,
         bunch_size=args.bunch or None,
         repeater_units=args.units,
+        **_runner_kwargs(args),
     )
     rows = [
         (corner.name, result.rank, f"{result.normalized:.6f}",
@@ -229,14 +329,20 @@ def _cmd_corners(args: argparse.Namespace) -> int:
             title="Rank across corners",
         )
     )
-    worst_corner, worst = report.worst
-    print()
-    print(
-        f"sign-off rank: {worst.rank:,} ({worst.normalized:.6f}) at corner "
-        f"{worst_corner.name!r}; guardband vs nominal: "
-        f"{report.guardband:.6f}"
+    if report.results:
+        worst_corner, worst = report.worst
+        print()
+        print(
+            f"sign-off rank: {worst.rank:,} ({worst.normalized:.6f}) at corner "
+            f"{worst_corner.name!r}; guardband vs nominal: "
+            f"{report.guardband:.6f}"
+        )
+    else:
+        print()
+        print("no corner produced a result; no sign-off number")
+    return _batch_exit_code(
+        report.journal, len(report.results), len(report.failures)
     )
-    return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -313,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser("sweep", help="regenerate one Table 4 column")
     p_sweep.add_argument("knob", choices=sorted(_SWEEPS), help="knob to sweep")
     _add_design_args(p_sweep)
+    _add_runner_args(p_sweep)
     p_sweep.add_argument("--csv", action="store_true", help="emit CSV instead")
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -343,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_opt.add_argument("--max-layers", type=int, default=12)
     p_opt.add_argument("--exhaustive-limit", type=int, default=128)
+    _add_runner_args(p_opt)
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_curve = sub.add_parser(
@@ -365,20 +473,37 @@ def build_parser() -> argparse.ArgumentParser:
         "corners", help="rank across process/operating corners"
     )
     _add_design_args(p_corners)
+    _add_runner_args(p_corners)
     p_corners.set_defaults(func=_cmd_corners)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    See the module docstring for the exit-code contract: 0 clean,
+    1 total failure, 2 usage error, 3 partial failure.
+    """
     parser = build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 for --help; surface
+        # the code as a return value so embedders never see SystemExit.
+        return int(exc.code or 0)
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed stdout early;
+        # that is a normal way to stop reading, not a failure.  Detach
+        # stdout so the interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":

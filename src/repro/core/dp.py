@@ -29,15 +29,31 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..assign.greedy_assign import pack_suffix
 from ..assign.tables import AssignmentTables
-from ..errors import RankComputationError
+from ..errors import DeadlineExceeded, RankComputationError
 from .discretize import DEFAULT_REPEATER_UNITS, discretize_repeaters
+
+
+def check_deadline(deadline: Optional[float], where: str = "solver") -> None:
+    """Raise :class:`DeadlineExceeded` once ``time.monotonic()`` passes
+    ``deadline`` (absolute seconds; ``None`` disables the check).
+
+    This is the cooperative cancellation primitive the fault-tolerant
+    runner relies on: long-running loops call it between units of work
+    so a per-attempt wall-clock budget can interrupt a computation
+    without killing the process.
+    """
+    if deadline is not None and time.monotonic() > deadline:
+        raise DeadlineExceeded(
+            f"wall-clock deadline exceeded in {where} "
+            f"(overran by {time.monotonic() - deadline:.3f} s)"
+        )
 
 
 @dataclass(frozen=True)
@@ -65,14 +81,20 @@ class WitnessSegment:
 
 @dataclass
 class SolverStats:
-    """Instrumentation of one solver run (all solvers share this type)."""
+    """Instrumentation of one solver run (all solvers share this type).
+
+    ``runtime_seconds`` is wall-clock and excluded from equality: two
+    runs of the same problem produce equal stats (the counters are
+    deterministic) even though their timings differ — which is what
+    lets a resumed sweep compare equal to an uninterrupted one.
+    """
 
     solver: str = ""
     states_explored: int = 0
     transitions: int = 0
     pack_checks: int = 0
     pack_successes: int = 0
-    runtime_seconds: float = 0.0
+    runtime_seconds: float = field(default=0.0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -103,6 +125,7 @@ def solve_rank_dp(
     tables: AssignmentTables,
     repeater_units: int = DEFAULT_REPEATER_UNITS,
     collect_witness: bool = False,
+    deadline: Optional[float] = None,
 ) -> RawSolution:
     """Compute the rank of the architecture exactly (DP solver).
 
@@ -116,6 +139,10 @@ def solve_rank_dp(
         block.
     collect_witness:
         Also reconstruct the winning prefix assignment.
+    deadline:
+        Optional absolute ``time.monotonic()`` instant; the DP raises
+        :class:`~repro.errors.DeadlineExceeded` cooperatively (between
+        group expansions) once it passes.
 
     Returns
     -------
@@ -159,6 +186,7 @@ def solve_rank_dp(
         delay_limit = tables.next_infeasible[pair]
 
         for b in range(num_groups + 1):
+            check_deadline(deadline, where=f"dp pair {pair}, group {b}")
             row = f_prev[b]
             finite = np.isfinite(row)
             if not finite.any():

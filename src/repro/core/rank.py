@@ -15,7 +15,7 @@ from typing import Optional, Tuple
 
 from ..errors import RankComputationError
 from .discretize import DEFAULT_REPEATER_UNITS
-from .dp import RawSolution, SolverStats, WitnessSegment, solve_rank_dp
+from .dp import RawSolution, SolverStats, WitnessSegment, check_deadline, solve_rank_dp
 from .exhaustive import solve_rank_exhaustive
 from .greedy import solve_rank_greedy
 from .problem import RankProblem
@@ -81,6 +81,7 @@ def compute_rank(
     max_groups: Optional[int] = None,
     repeater_units: int = DEFAULT_REPEATER_UNITS,
     collect_witness: bool = False,
+    deadline: Optional[float] = None,
 ) -> RankResult:
     """Compute the rank of the problem's architecture.
 
@@ -102,6 +103,11 @@ def compute_rank(
         Budget cells for the repeater-area discretization.
     collect_witness:
         DP only: also reconstruct the winning prefix assignment.
+    deadline:
+        Optional absolute ``time.monotonic()`` wall-clock deadline.
+        The DP solver checks it cooperatively inside its main loop;
+        the other solvers check it once before solving.  Raises
+        :class:`~repro.errors.DeadlineExceeded` when it has passed.
 
     Returns
     -------
@@ -114,11 +120,15 @@ def compute_rank(
     tables, error_bound = problem.tables(
         bunch_size=bunch_size, max_groups=max_groups
     )
+    check_deadline(deadline, where="compute_rank (after table build)")
 
     raw: RawSolution
     if solver == "dp":
         raw = solve_rank_dp(
-            tables, repeater_units=repeater_units, collect_witness=collect_witness
+            tables,
+            repeater_units=repeater_units,
+            collect_witness=collect_witness,
+            deadline=deadline,
         )
     elif solver == "greedy":
         raw = solve_rank_greedy(tables)

@@ -58,3 +58,32 @@ class RankComputationError(ReproError):
     Examples: a problem whose WLD and architecture use different die areas,
     zero repeater-area discretization cells, or an unknown solver name.
     """
+
+
+class RunnerError(ReproError):
+    """A fault-tolerant batch run could not produce a result.
+
+    Raised by :mod:`repro.runner` when a point exhausts its retry budget
+    in strict mode, when a batch completes with zero successful points,
+    or when the executor itself is misconfigured (e.g. duplicate point
+    keys).  Per-point failures under ``keep_going`` are *not* raised;
+    they are recorded as :class:`repro.runner.PointFailure` entries.
+    """
+
+
+class CheckpointError(RunnerError):
+    """A checkpoint file is missing, malformed, or from a different run.
+
+    Examples: unparseable JSON, a mismatched ``FORMAT_VERSION``, or a
+    checkpoint written by a batch with a different run name.
+    """
+
+
+class DeadlineExceeded(RunnerError):
+    """A cooperative wall-clock deadline expired mid-computation.
+
+    The DP solver checks the deadline between state expansions, so the
+    exception surfaces promptly without killing the process; the runner
+    treats it like any other retryable failure (typically retrying with
+    a coarser bunch size).
+    """

@@ -17,6 +17,7 @@ from .search import (
     shielding_capacity_factor,
     OptimizationResult,
     evaluate_candidates,
+    evaluate_candidates_batch,
     hill_climb,
     optimize_architecture,
     pareto_front,
@@ -28,6 +29,7 @@ __all__ = [
     "CandidateResult",
     "OptimizationResult",
     "evaluate_candidates",
+    "evaluate_candidates_batch",
     "pareto_front",
     "hill_climb",
     "optimize_architecture",

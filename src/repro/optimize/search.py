@@ -10,15 +10,22 @@ rank-vs-metal-layers frontier a BEOL roadmap discussion needs.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..arch.builder import ArchitectureSpec, build_architecture
 from ..core.problem import RankProblem
 from ..core.rank import RankResult, compute_rank
-from ..errors import RankComputationError
+from ..errors import RankComputationError, RunnerError
 from ..rc.noise import SHIELDING_LADDER
 from .space import DesignSpace
+
+if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
+    from pathlib import Path
+
+    from ..runner.executor import BatchOutcome
+    from ..runner.journal import PointFailure, RunJournal
+    from ..runner.policy import RetryPolicy
 
 #: Miller factor -> routing-capacity fraction under shielding-aware
 #: evaluation, from the standard shielding ladder (noise module).
@@ -98,11 +105,19 @@ class OptimizationResult:
         Every candidate evaluated, in evaluation order.
     pareto:
         The rank-vs-layers frontier among the evaluated candidates.
+    failures:
+        Candidates whose evaluation failed under a ``keep_going``
+        search (empty for a clean search).
+    journal:
+        Run journal of the underlying batch execution, when the search
+        ran through the fault-tolerant harness.
     """
 
     best: CandidateResult
     evaluated: Tuple[CandidateResult, ...]
     pareto: Tuple[CandidateResult, ...]
+    failures: Tuple["PointFailure", ...] = ()
+    journal: Optional["RunJournal"] = field(default=None, compare=False)
 
 
 def _solve(
@@ -120,6 +135,75 @@ def _solve(
     return compute_rank(variant, **solve_options)
 
 
+def evaluate_candidates_batch(
+    problem: RankProblem,
+    specs: Sequence[ArchitectureSpec],
+    shielding_aware: bool = False,
+    policy: Optional["RetryPolicy"] = None,
+    keep_going: bool = False,
+    checkpoint: Optional[Union[str, "Path"]] = None,
+    resume: bool = False,
+    **solve_options,
+) -> Tuple[List[CandidateResult], "BatchOutcome"]:
+    """Rank every candidate through the fault-tolerant harness.
+
+    Returns the completed candidates (evaluation order) plus the
+    :class:`~repro.runner.BatchOutcome` carrying failures and the run
+    journal.  Checkpoints store only the rank results; candidates are
+    re-derived from the (deterministic) spec enumeration on resume.
+    """
+    # Imported here, not at module top: the runner package reaches
+    # analysis.sweep through repro.reporting.persist.
+    from ..reporting.persist import rank_result_from_dict, rank_result_to_dict
+    from ..runner.executor import PointSpec, run_batch
+    from ..runner.policy import scaled_bunch_size
+
+    points = [
+        PointSpec(
+            key=f"[{i}] {_spec_label(spec)}",
+            value=spec,
+            label=_spec_label(spec),
+        )
+        for i, spec in enumerate(specs)
+    ]
+
+    def evaluate(point: "PointSpec", attempt) -> RankResult:
+        options = dict(solve_options)
+        if "bunch_size" in options:
+            options["bunch_size"] = scaled_bunch_size(
+                options["bunch_size"], dict(attempt.degradation)
+            )
+        options["deadline"] = attempt.deadline
+        return _solve(problem, point.value, options, shielding_aware)
+
+    outcome = run_batch(
+        "optimize",
+        points,
+        evaluate,
+        policy=policy,
+        keep_going=keep_going,
+        checkpoint_path=checkpoint,
+        resume=resume,
+        serialize=rank_result_to_dict,
+        deserialize=rank_result_from_dict,
+    )
+    results = [
+        CandidateResult(spec=point.value, result=outcome.results[point.key])
+        for point in points
+        if point.key in outcome.results
+    ]
+    return results, outcome
+
+
+def _spec_label(spec: ArchitectureSpec) -> str:
+    """Checkpoint-stable candidate label (mirrors CandidateResult.label)."""
+    return (
+        f"G{spec.global_pairs}/SG{spec.semi_global_pairs}"
+        f"/L{spec.local_pairs} k={spec.permittivity:g} "
+        f"M={spec.miller_factor:g}"
+    )
+
+
 def evaluate_candidates(
     problem: RankProblem,
     specs: Sequence[ArchitectureSpec],
@@ -132,15 +216,14 @@ def evaluate_candidates(
     assumed to be bought with shield wires, and its routing utilization
     pays the corresponding track cost (1x / 2x / 3x tracks per signal
     for M = 2.0 / 1.5 / 1.0) — the honest version of the M knob.
+
+    Accepts the harness keywords of :func:`evaluate_candidates_batch`
+    (``policy`` / ``keep_going`` / ``checkpoint`` / ``resume``) and
+    returns just the completed candidates.
     """
-    results: List[CandidateResult] = []
-    for spec in specs:
-        results.append(
-            CandidateResult(
-                spec=spec,
-                result=_solve(problem, spec, solve_options, shielding_aware),
-            )
-        )
+    results, _ = evaluate_candidates_batch(
+        problem, specs, shielding_aware=shielding_aware, **solve_options
+    )
     return results
 
 
@@ -187,6 +270,9 @@ def hill_climb(
     initial: Optional[ArchitectureSpec] = None,
     max_steps: int = 50,
     shielding_aware: bool = False,
+    policy: Optional["RetryPolicy"] = None,
+    keep_going: bool = False,
+    journal: Optional["RunJournal"] = None,
     **solve_options,
 ) -> List[CandidateResult]:
     """Best-improvement hill climb over single-knob moves.
@@ -194,11 +280,21 @@ def hill_climb(
     Returns the trajectory (including the start); the last element is a
     local optimum of the neighbourhood.  Already-evaluated specs are
     cached so the climb never re-solves a candidate.
+
+    Each candidate solve runs under the fault-tolerant harness'
+    per-point executor: with ``keep_going=True`` a failing neighbour is
+    treated as infeasible (skipped, recorded in ``journal``) instead of
+    aborting the climb; the starting candidate failing always raises
+    :class:`~repro.errors.RunnerError` — there is nothing to climb from.
     """
+    from ..runner.executor import PointSpec, execute_point
+    from ..runner.policy import RetryPolicy, scaled_bunch_size
+
     if max_steps < 1:
         raise RankComputationError(f"max_steps must be positive, got {max_steps!r}")
+    policy = policy if policy is not None else RetryPolicy()
     current_spec = initial if initial is not None else space.default_spec()
-    cache: Dict[tuple, RankResult] = {}
+    cache: Dict[tuple, Optional[RankResult]] = {}
 
     def key(spec: ArchitectureSpec) -> tuple:
         # TechnologyNode holds dicts (unhashable); key on the knobs.
@@ -210,18 +306,48 @@ def hill_climb(
             spec.miller_factor,
         )
 
-    def solve(spec: ArchitectureSpec) -> RankResult:
+    def evaluate(point: "PointSpec", attempt) -> RankResult:
+        options = dict(solve_options)
+        if "bunch_size" in options:
+            options["bunch_size"] = scaled_bunch_size(
+                options["bunch_size"], dict(attempt.degradation)
+            )
+        options["deadline"] = attempt.deadline
+        return _solve(problem, point.value, options, shielding_aware)
+
+    def solve(spec: ArchitectureSpec) -> Optional[RankResult]:
         k = key(spec)
         if k not in cache:
-            cache[k] = _solve(problem, spec, solve_options, shielding_aware)
+            label = _spec_label(spec)
+            outcome = execute_point(
+                PointSpec(key=label, value=spec, label=label), evaluate, policy
+            )
+            if journal is not None:
+                journal.add(outcome.record)
+            if not outcome.ok and not keep_going:
+                raise RunnerError(
+                    f"hill climb: candidate {label!r} failed after "
+                    f"{len(outcome.record.attempts)} attempt(s): "
+                    f"{outcome.record.attempts[-1].error_message}"
+                )
+            cache[k] = outcome.result if outcome.ok else None
         return cache[k]
 
-    trajectory = [CandidateResult(spec=current_spec, result=solve(current_spec))]
+    start = solve(current_spec)
+    if start is None:
+        raise RunnerError(
+            f"hill climb: starting candidate {_spec_label(current_spec)!r} "
+            "failed; there is nothing to climb from"
+        )
+    trajectory = [CandidateResult(spec=current_spec, result=start)]
     for _ in range(max_steps):
         current = trajectory[-1]
         best_move: Optional[CandidateResult] = None
         for neighbour in space.neighbours(current.spec):
-            candidate = CandidateResult(spec=neighbour, result=solve(neighbour))
+            result = solve(neighbour)
+            if result is None:
+                continue  # failed under keep_going: treat as infeasible
+            candidate = CandidateResult(spec=neighbour, result=result)
             if best_move is None or candidate.result.rank > best_move.result.rank:
                 best_move = candidate
         if best_move is None or best_move.result.rank <= current.result.rank:
@@ -235,6 +361,10 @@ def optimize_architecture(
     space: DesignSpace,
     exhaustive_limit: int = 64,
     shielding_aware: bool = False,
+    policy: Optional["RetryPolicy"] = None,
+    keep_going: bool = False,
+    checkpoint: Optional[Union[str, "Path"]] = None,
+    resume: bool = False,
     **solve_options,
 ) -> OptimizationResult:
     """Search a design space for the highest-rank architecture.
@@ -244,22 +374,58 @@ def optimize_architecture(
     ``shielding_aware=True`` charges each candidate's Miller factor its
     shield-track cost (see :func:`shielding_capacity_factor`).
 
+    The search runs through the fault-tolerant harness: ``policy``
+    bounds per-candidate attempts and wall-clock, ``keep_going`` skips
+    failing candidates instead of aborting, and ``checkpoint`` /
+    ``resume`` journal the exhaustive enumeration across interruptions
+    (the adaptive hill climb supports isolation and retries but not
+    checkpointing).
+
     Returns
     -------
     OptimizationResult
-        Best candidate, all evaluations, and the rank-vs-layers Pareto
-        frontier.
+        Best candidate, all evaluations, the rank-vs-layers Pareto
+        frontier, plus any failures and the run journal.
     """
     size = space.size()
     if size == 0:
         raise RankComputationError("design space enumerates no candidates")
     if size <= exhaustive_limit:
-        evaluated = evaluate_candidates(
-            problem, list(space), shielding_aware=shielding_aware, **solve_options
+        evaluated, outcome = evaluate_candidates_batch(
+            problem,
+            list(space),
+            shielding_aware=shielding_aware,
+            policy=policy,
+            keep_going=keep_going,
+            checkpoint=checkpoint,
+            resume=resume,
+            **solve_options,
         )
+        failures, journal = outcome.failures, outcome.journal
     else:
+        from ..runner.journal import RunJournal
+
+        if checkpoint is not None or resume:
+            raise RunnerError(
+                "checkpoint/resume requires the exhaustive search path; "
+                f"this space has {size} candidates > exhaustive_limit="
+                f"{exhaustive_limit} and would hill-climb"
+            )
+        journal = RunJournal(name="optimize")
         evaluated = hill_climb(
-            problem, space, shielding_aware=shielding_aware, **solve_options
+            problem,
+            space,
+            shielding_aware=shielding_aware,
+            policy=policy,
+            keep_going=keep_going,
+            journal=journal,
+            **solve_options,
+        )
+        failures = journal.failures()
+    if not evaluated:
+        raise RunnerError(
+            "architecture search: every candidate failed; "
+            "see the run journal for per-candidate errors"
         )
     best = max(
         evaluated, key=lambda c: (c.result.rank, -c.metal_layers)
@@ -268,4 +434,6 @@ def optimize_architecture(
         best=best,
         evaluated=tuple(evaluated),
         pareto=tuple(pareto_front(evaluated)),
+        failures=failures,
+        journal=journal,
     )

@@ -1,17 +1,27 @@
 """Report formatting: Table-4-style text tables, persistence, witnesses."""
 
-from .persist import load_rank_result, load_sweep, save_rank_result, save_sweep
+from .persist import (
+    load_rank_result,
+    load_sweep,
+    rank_result_from_dict,
+    rank_result_to_dict,
+    read_versioned_json,
+    save_rank_result,
+    save_sweep,
+    write_json_atomic,
+)
 from .tables import (
     format_equivalence_table,
     format_node_table,
     format_sweep_table,
     sweep_to_csv,
 )
-from .text import format_table
+from .text import format_run_journal, format_table
 from .witness import PairUsage, assignment_usage, format_assignment_report
 
 __all__ = [
     "format_table",
+    "format_run_journal",
     "format_sweep_table",
     "format_equivalence_table",
     "format_node_table",
@@ -20,6 +30,10 @@ __all__ = [
     "load_rank_result",
     "save_sweep",
     "load_sweep",
+    "rank_result_to_dict",
+    "rank_result_from_dict",
+    "write_json_atomic",
+    "read_versioned_json",
     "PairUsage",
     "assignment_usage",
     "format_assignment_report",

@@ -4,11 +4,18 @@ Reproduction runs are cheap but not free; persisting results lets the
 benchmark harness, notebooks and CI diff runs against recorded ones.
 The format is versioned, flat JSON — stable across refactors of the
 in-memory dataclasses.
+
+All writes are **atomic**: content goes to ``<path>.tmp`` and is moved
+into place with :func:`os.replace`, so a crash or SIGTERM mid-write can
+never leave a truncated file behind.  This is what makes the runner's
+incremental checkpoints (:mod:`repro.runner.checkpoint`) safe to resume
+from after an interrupted run.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Union
 
@@ -16,6 +23,7 @@ from ..analysis.sweep import SweepPoint, SweepResult
 from ..core.dp import SolverStats, WitnessSegment
 from ..core.rank import RankResult
 from ..errors import ReproError
+from ..runner.journal import PointFailure
 
 PathLike = Union[str, Path]
 
@@ -23,7 +31,58 @@ PathLike = Union[str, Path]
 FORMAT_VERSION = 1
 
 
-def _result_to_dict(result: RankResult) -> dict:
+def write_json_atomic(payload: dict, path: PathLike) -> None:
+    """Serialize ``payload`` to ``path`` via temp file + ``os.replace``.
+
+    The temp file lives next to the target (same filesystem) so the
+    final rename is atomic; readers either see the old complete file or
+    the new complete file, never a partial write.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def read_versioned_json(path: PathLike, expected_format: str) -> dict:
+    """Load a versioned JSON file, validating format tag and version.
+
+    Raises :class:`ReproError` (never ``KeyError``/``JSONDecodeError``)
+    with an actionable message on unparseable files, wrong format tags,
+    or a ``FORMAT_VERSION`` mismatch.
+    """
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"{path}: cannot read: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"{path}: expected a JSON object")
+    if payload.get("format") != expected_format:
+        kind = expected_format.rsplit(".", 1)[-1].replace("_", "-")
+        raise ReproError(
+            f"{path}: not a {kind} file "
+            f"(format tag {payload.get('format')!r}, expected {expected_format!r})"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"{path}: unsupported version {payload.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return payload
+
+
+def rank_result_to_dict(result: RankResult) -> dict:
+    """Serialize one rank result to a plain JSON-ready dictionary."""
     payload = {
         "rank": result.rank,
         "normalized": result.normalized,
@@ -54,7 +113,8 @@ def _result_to_dict(result: RankResult) -> dict:
     return payload
 
 
-def _result_from_dict(payload: dict) -> RankResult:
+def rank_result_from_dict(payload: dict) -> RankResult:
+    """Inverse of :func:`rank_result_to_dict`; raises on missing keys."""
     try:
         stats_data = payload["stats"]
         stats = SolverStats(
@@ -91,32 +151,29 @@ def _result_from_dict(payload: dict) -> RankResult:
         raise ReproError(f"malformed rank-result payload: missing {exc}") from exc
 
 
+# Backwards-compatible private aliases (pre-runner name).
+_result_to_dict = rank_result_to_dict
+_result_from_dict = rank_result_from_dict
+
+
 def save_rank_result(result: RankResult, path: PathLike) -> None:
     """Write one rank result (witness included if present) to JSON."""
     payload = {
         "format": "repro.rank_result",
         "version": FORMAT_VERSION,
-        "result": _result_to_dict(result),
+        "result": rank_result_to_dict(result),
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    write_json_atomic(payload, path)
 
 
 def load_rank_result(path: PathLike) -> RankResult:
     """Read a rank result written by :func:`save_rank_result`."""
-    with open(path) as handle:
-        payload = json.load(handle)
-    if payload.get("format") != "repro.rank_result":
-        raise ReproError(f"{path}: not a rank-result file")
-    if payload.get("version") != FORMAT_VERSION:
-        raise ReproError(
-            f"{path}: unsupported version {payload.get('version')!r}"
-        )
-    return _result_from_dict(payload["result"])
+    payload = read_versioned_json(path, "repro.rank_result")
+    return rank_result_from_dict(payload["result"])
 
 
 def save_sweep(sweep: SweepResult, path: PathLike) -> None:
-    """Write a sweep (all points, paper values included) to JSON."""
+    """Write a sweep (all points, paper values, failures) to JSON."""
     payload = {
         "format": "repro.sweep",
         "version": FORMAT_VERSION,
@@ -125,31 +182,33 @@ def save_sweep(sweep: SweepResult, path: PathLike) -> None:
             {
                 "value": point.value,
                 "paper_normalized": point.paper_normalized,
-                "result": _result_to_dict(point.result),
+                "result": rank_result_to_dict(point.result),
             }
             for point in sweep.points
         ],
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
+    if sweep.failures:
+        payload["failures"] = [f.to_dict() for f in sweep.failures]
+    write_json_atomic(payload, path)
 
 
 def load_sweep(path: PathLike) -> SweepResult:
     """Read a sweep written by :func:`save_sweep`."""
-    with open(path) as handle:
-        payload = json.load(handle)
-    if payload.get("format") != "repro.sweep":
-        raise ReproError(f"{path}: not a sweep file")
-    if payload.get("version") != FORMAT_VERSION:
-        raise ReproError(
-            f"{path}: unsupported version {payload.get('version')!r}"
+    payload = read_versioned_json(path, "repro.sweep")
+    try:
+        points = tuple(
+            SweepPoint(
+                value=point["value"],
+                result=rank_result_from_dict(point["result"]),
+                paper_normalized=point.get("paper_normalized"),
+            )
+            for point in payload["points"]
         )
-    points = tuple(
-        SweepPoint(
-            value=point["value"],
-            result=_result_from_dict(point["result"]),
-            paper_normalized=point.get("paper_normalized"),
+        failures = tuple(
+            PointFailure.from_dict(f) for f in payload.get("failures", ())
         )
-        for point in payload["points"]
-    )
-    return SweepResult(name=payload["name"], points=points)
+        return SweepResult(
+            name=payload["name"], points=points, failures=failures
+        )
+    except KeyError as exc:
+        raise ReproError(f"{path}: malformed sweep payload: missing {exc}") from exc

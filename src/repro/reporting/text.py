@@ -1,12 +1,16 @@
 """Minimal fixed-width text table rendering.
 
 No third-party dependency: benchmarks and the CLI print paper-shaped
-tables through :func:`format_table`.
+tables through :func:`format_table`, and fault-tolerant batch runs
+render their journals through :func:`format_run_journal`.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:
+    from ..runner.journal import RunJournal
 
 
 def format_table(
@@ -44,4 +48,63 @@ def format_table(
     lines.append(render_row(headers))
     lines.append("  ".join("-" * w for w in widths))
     lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_run_journal(journal: "RunJournal", verbose: bool = False) -> str:
+    """Render a batch run journal for humans.
+
+    The output always leads with the one-line summary; failed points
+    get a table with their final error, and any degraded-but-successful
+    points are listed so accuracy trades are never silent.  With
+    ``verbose=True`` every point is tabulated, not just the notable
+    ones.
+    """
+    from ..runner.journal import STATUS_FAILED
+
+    lines = [journal.summary()]
+
+    rows = []
+    for record in journal.records:
+        notable = record.status == STATUS_FAILED or (
+            record.attempts and len(record.attempts) > 1
+        )
+        if not (verbose or notable):
+            continue
+        last = record.attempts[-1] if record.attempts else None
+        error = f"{last.error_type}: {last.error_message}" if last and last.error_type else ""
+        degraded = (
+            " ".join(f"{k}={v:g}" for k, v in last.degradation.items())
+            if last
+            else ""
+        )
+        rows.append(
+            (
+                record.key,
+                record.status,
+                len(record.attempts),
+                degraded or "-",
+                error or "-",
+            )
+        )
+    if rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                ("point", "status", "attempts", "degradation", "last error"),
+                rows,
+                title="Attempt detail" if verbose else "Failures and retries",
+            )
+        )
+
+    degradations = journal.degradations()
+    if degradations:
+        lines.append("")
+        lines.append(
+            "degraded points (results are coarser than requested): "
+            + ", ".join(
+                f"{key} [{' '.join(f'{k}={v:g}' for k, v in knobs.items())}]"
+                for key, (_, knobs) in sorted(degradations.items())
+            )
+        )
     return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Fault-tolerant run harness for multi-point evaluations.
+
+Every batched evaluation in the library — Table 4 sweeps
+(:func:`repro.analysis.sweep.run_sweep`), corner sign-off
+(:func:`repro.analysis.corners.rank_across_corners`), and architecture
+search (:mod:`repro.optimize.search`) — routes through
+:func:`run_batch`, which adds per-point fault isolation,
+checkpoint/resume, and deterministic retry/degradation policies on top
+of any ``(point) -> result`` evaluation.
+
+Quickstart::
+
+    from repro.runner import PointSpec, RetryPolicy, run_batch
+
+    outcome = run_batch(
+        "my-study",
+        [PointSpec(key=f"x={x}", value=x) for x in xs],
+        lambda point, attempt: expensive(point.value),
+        policy=RetryPolicy(max_attempts=3, timeout_s=60.0),
+        keep_going=True,
+        checkpoint_path="study.ckpt.json",
+    )
+    outcome.results, outcome.failures, print(outcome.journal.summary())
+"""
+
+from .checkpoint import CHECKPOINT_FORMAT, Checkpoint, load_checkpoint, save_checkpoint
+from .executor import (
+    Attempt,
+    BatchOutcome,
+    PointOutcome,
+    PointSpec,
+    execute_point,
+    run_batch,
+)
+from .journal import (
+    STATUS_CACHED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    AttemptRecord,
+    PointFailure,
+    PointRecord,
+    RunJournal,
+)
+from .policy import RetryPolicy, scaled_bunch_size
+
+__all__ = [
+    "Attempt",
+    "AttemptRecord",
+    "BatchOutcome",
+    "CHECKPOINT_FORMAT",
+    "Checkpoint",
+    "PointFailure",
+    "PointOutcome",
+    "PointRecord",
+    "PointSpec",
+    "RetryPolicy",
+    "RunJournal",
+    "STATUS_CACHED",
+    "STATUS_COMPLETED",
+    "STATUS_FAILED",
+    "execute_point",
+    "load_checkpoint",
+    "run_batch",
+    "save_checkpoint",
+    "scaled_bunch_size",
+]

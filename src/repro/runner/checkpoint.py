@@ -1,0 +1,102 @@
+"""Checkpoint files: incremental journaling of completed batch points.
+
+The executor rewrites the checkpoint atomically (temp file +
+``os.replace``, via :mod:`repro.reporting.persist`) after **every**
+completed point, so a crash, OOM kill, or SIGTERM at any instant leaves
+a valid file holding every point finished so far.  ``--resume`` then
+reloads it and recomputes only what is missing.
+
+A checkpoint records the run's *name* as its identity; resuming a
+``corners`` checkpoint into a ``sweep K`` run is rejected with a
+:class:`~repro.errors.CheckpointError` rather than silently mixing
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..errors import CheckpointError, ReproError
+from ..reporting import persist
+from .journal import RunJournal
+
+PathLike = Union[str, Path]
+
+#: Format tag written into every checkpoint file.
+CHECKPOINT_FORMAT = "repro.checkpoint"
+
+
+@dataclass
+class Checkpoint:
+    """In-memory image of a checkpoint file.
+
+    Attributes
+    ----------
+    run:
+        Name of the batch run that wrote the checkpoint (its identity).
+    points:
+        ``point key -> serialized result payload`` for every completed
+        point.  Payloads are opaque to the checkpoint layer; the
+        executor's ``serialize``/``deserialize`` hooks own their shape.
+    journal:
+        Journal of the run that wrote the file (``None`` for
+        hand-rolled checkpoints).
+    """
+
+    run: str
+    points: Dict[str, object] = field(default_factory=dict)
+    journal: Optional[RunJournal] = None
+
+
+def save_checkpoint(checkpoint: Checkpoint, path: PathLike) -> None:
+    """Atomically write a checkpoint file (safe against mid-write kills)."""
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "version": persist.FORMAT_VERSION,
+        "run": checkpoint.run,
+        "points": dict(checkpoint.points),
+    }
+    if checkpoint.journal is not None:
+        payload["journal"] = checkpoint.journal.to_dict()
+    persist.write_json_atomic(payload, path)
+
+
+def load_checkpoint(path: PathLike, expect_run: Optional[str] = None) -> Checkpoint:
+    """Read a checkpoint; every failure mode raises :class:`CheckpointError`.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file written by :func:`save_checkpoint`.
+    expect_run:
+        When given, the stored run name must match — resuming the wrong
+        checkpoint is an error, not a silent empty resume.
+    """
+    if not Path(path).exists():
+        raise CheckpointError(f"{path}: checkpoint file does not exist")
+    try:
+        payload = persist.read_versioned_json(path, CHECKPOINT_FORMAT)
+    except CheckpointError:
+        raise
+    except ReproError as exc:
+        raise CheckpointError(str(exc)) from exc
+    run = payload.get("run")
+    if not isinstance(run, str) or not run:
+        raise CheckpointError(f"{path}: checkpoint has no run name")
+    if expect_run is not None and run != expect_run:
+        raise CheckpointError(
+            f"{path}: checkpoint belongs to run {run!r}, "
+            f"cannot resume run {expect_run!r}"
+        )
+    points = payload.get("points", {})
+    if not isinstance(points, dict):
+        raise CheckpointError(f"{path}: checkpoint 'points' must be an object")
+    journal = None
+    if "journal" in payload:
+        try:
+            journal = RunJournal.from_dict(payload["journal"])
+        except ReproError as exc:
+            raise CheckpointError(f"{path}: {exc}") from exc
+    return Checkpoint(run=run, points=dict(points), journal=journal)

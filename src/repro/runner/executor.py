@@ -1,0 +1,328 @@
+"""Fault-tolerant batch executor.
+
+:func:`run_batch` is the single entry point every multi-point
+evaluation (sweeps, corner sign-off, architecture search) routes
+through.  It provides the three guarantees a long DP-heavy batch job
+needs:
+
+* **per-point isolation** — a failing point becomes a structured
+  :class:`~repro.runner.journal.PointFailure` instead of aborting the
+  other points (``keep_going=True``), or aborts *after* journaling and
+  checkpointing everything completed so far (strict mode);
+* **checkpoint/resume** — each completed point is immediately journaled
+  to an atomically-rewritten checkpoint file, and ``resume=True``
+  recomputes only the points the checkpoint is missing;
+* **retry with deterministic degradation** — a
+  :class:`~repro.runner.policy.RetryPolicy` bounds attempts and
+  per-attempt wall-clock, and walks a deterministic fallback ladder
+  (coarser bunch size), with every degradation recorded in the
+  :class:`~repro.runner.journal.RunJournal`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import RunnerError
+from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from .journal import (
+    STATUS_CACHED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    AttemptRecord,
+    PointFailure,
+    PointRecord,
+    RunJournal,
+)
+from .policy import RetryPolicy
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One point of a batch.
+
+    Attributes
+    ----------
+    key:
+        Stable identity used for checkpointing and resume; must be
+        unique within the batch and deterministic across runs.
+    value:
+        The payload handed to the evaluate callable (knob value,
+        corner, candidate spec, ...).
+    label:
+        Optional display name; defaults to the key.
+    """
+
+    key: str
+    value: object
+    label: str = ""
+
+    def display(self) -> str:
+        """Label if set, else the key."""
+        return self.label or self.key
+
+    def journal_value(self) -> object:
+        """The value as journaled: JSON primitives verbatim, else the label.
+
+        Journals travel inside checkpoint files, so rich point values
+        (a ``Corner``, an ``ArchitectureSpec``) are recorded by display
+        name rather than serialized.
+        """
+        if isinstance(self.value, (str, int, float, bool)) or self.value is None:
+            return self.value
+        return self.display()
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """Context handed to the evaluate callable for one try.
+
+    Attributes
+    ----------
+    index:
+        0-based attempt number.
+    deadline:
+        Absolute ``time.monotonic()`` instant the attempt must respect
+        (pass it to :func:`repro.core.rank.compute_rank`), or ``None``.
+    degradation:
+        Fallback knobs from the policy's ladder; evaluators apply the
+        ones they understand (see
+        :func:`repro.runner.policy.scaled_bunch_size`).
+    """
+
+    index: int
+    deadline: Optional[float] = None
+    degradation: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Result of driving one point through its attempt budget."""
+
+    record: PointRecord
+    result: object = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point produced a result."""
+        return self.record.status in (STATUS_COMPLETED, STATUS_CACHED)
+
+
+@dataclass
+class BatchOutcome:
+    """What a batch run produced.
+
+    Attributes
+    ----------
+    results:
+        ``point key -> result`` for every point that has one (fresh or
+        resumed from checkpoint).
+    failures:
+        Points that exhausted every attempt, in run order.
+    journal:
+        Full per-point, per-attempt record of the run.
+    """
+
+    results: Dict[str, object]
+    failures: Tuple[PointFailure, ...]
+    journal: RunJournal
+
+    @property
+    def ok(self) -> bool:
+        """True iff every point has a result."""
+        return not self.failures
+
+    @property
+    def partial(self) -> bool:
+        """True iff some — but not all — points have results."""
+        return bool(self.failures) and bool(self.results)
+
+    @property
+    def total_failure(self) -> bool:
+        """True iff no point produced a result."""
+        return bool(self.failures) and not self.results
+
+
+def execute_point(
+    point: PointSpec,
+    evaluate: Callable[[PointSpec, Attempt], object],
+    policy: RetryPolicy,
+) -> PointOutcome:
+    """Drive one point through the policy's attempt budget.
+
+    Retryable exceptions (``policy.retry_on``) consume attempts;
+    anything else — a programming error — propagates immediately.
+    Never raises on exhaustion: the failed :class:`PointOutcome` carries
+    the full attempt history and the caller chooses strict vs
+    keep-going semantics.
+    """
+    attempts = []
+    for index in range(policy.max_attempts):
+        attempt = Attempt(
+            index=index,
+            deadline=policy.deadline(),
+            degradation=policy.degradation(index),
+        )
+        started = time.monotonic()
+        try:
+            result = evaluate(point, attempt)
+        except Exception as exc:
+            attempts.append(
+                AttemptRecord(
+                    index=index,
+                    error_type=type(exc).__name__,
+                    error_message=str(exc),
+                    wall_time_s=time.monotonic() - started,
+                    degradation=attempt.degradation,
+                )
+            )
+            if not policy.is_retryable(exc):
+                raise
+            continue
+        attempts.append(
+            AttemptRecord(
+                index=index,
+                wall_time_s=time.monotonic() - started,
+                degradation=attempt.degradation,
+            )
+        )
+        return PointOutcome(
+            record=PointRecord(
+                key=point.key,
+                value=point.journal_value(),
+                status=STATUS_COMPLETED,
+                attempts=tuple(attempts),
+            ),
+            result=result,
+        )
+    return PointOutcome(
+        record=PointRecord(
+            key=point.key,
+            value=point.journal_value(),
+            status=STATUS_FAILED,
+            attempts=tuple(attempts),
+        )
+    )
+
+
+def run_batch(
+    name: str,
+    points: Sequence[PointSpec],
+    evaluate: Callable[[PointSpec, Attempt], object],
+    policy: Optional[RetryPolicy] = None,
+    keep_going: bool = False,
+    checkpoint_path: Optional[PathLike] = None,
+    resume: bool = False,
+    serialize: Optional[Callable[[object], object]] = None,
+    deserialize: Optional[Callable[[object], object]] = None,
+) -> BatchOutcome:
+    """Evaluate every point with isolation, checkpointing, and retries.
+
+    Parameters
+    ----------
+    name:
+        Run identity; a checkpoint written by a differently-named run
+        refuses to resume into this one.
+    points:
+        The batch, in deterministic order; keys must be unique.
+    evaluate:
+        ``(point, attempt) -> result``.  Honour ``attempt.deadline``
+        and ``attempt.degradation`` to get timeouts and the fallback
+        ladder; a plain callable that ignores them still gets isolation
+        and checkpointing.
+    policy:
+        Attempt budget / timeout / degradation ladder (default: one
+        attempt, no timeout).
+    keep_going:
+        True: record failures and continue to the next point.  False
+        (strict): checkpoint what is done, then raise
+        :class:`~repro.errors.RunnerError` on the first exhausted point.
+    checkpoint_path:
+        When given, the checkpoint is (re)written atomically after
+        every completed point — an interrupted run loses at most the
+        in-flight point.
+    resume:
+        Load ``checkpoint_path`` and skip every point it already has
+        (recorded as ``cached`` in the journal).
+    serialize / deserialize:
+        Result <-> JSON-payload hooks for checkpointing (identity by
+        default, i.e. results must already be JSON-compatible).
+
+    Returns
+    -------
+    BatchOutcome
+    """
+    policy = policy if policy is not None else RetryPolicy()
+    serialize = serialize if serialize is not None else (lambda result: result)
+    deserialize = deserialize if deserialize is not None else (lambda payload: payload)
+
+    seen = set()
+    for point in points:
+        if point.key in seen:
+            raise RunnerError(
+                f"run {name!r}: duplicate point key {point.key!r}; "
+                "checkpoint keys must be unique"
+            )
+        seen.add(point.key)
+    if resume and checkpoint_path is None:
+        raise RunnerError(f"run {name!r}: resume requested without a checkpoint path")
+
+    cached: Dict[str, object] = {}
+    if resume:
+        cached = dict(load_checkpoint(checkpoint_path, expect_run=name).points)
+
+    journal = RunJournal(name=name)
+    checkpoint = Checkpoint(run=name, points=dict(cached), journal=journal)
+    results: Dict[str, object] = {}
+
+    def commit() -> None:
+        if checkpoint_path is not None:
+            save_checkpoint(checkpoint, checkpoint_path)
+
+    # Write the identity file up front so even a run killed before its
+    # first completed point leaves a resumable (empty) checkpoint.
+    commit()
+
+    for point in points:
+        if point.key in cached:
+            results[point.key] = deserialize(cached[point.key])
+            journal.add(
+                PointRecord(
+                    key=point.key, value=point.journal_value(), status=STATUS_CACHED
+                )
+            )
+            continue
+        outcome = execute_point(point, evaluate, policy)
+        journal.add(outcome.record)
+        if outcome.ok:
+            results[point.key] = outcome.result
+            checkpoint.points[point.key] = serialize(outcome.result)
+            commit()
+            continue
+        if not keep_going:
+            commit()
+            last = outcome.record.attempts[-1] if outcome.record.attempts else None
+            detail = (
+                f": last attempt raised {last.error_type}: {last.error_message}"
+                if last
+                else ""
+            )
+            hint = (
+                f" (completed points are checkpointed in {checkpoint_path}; "
+                f"re-run with resume to continue)"
+                if checkpoint_path is not None
+                else ""
+            )
+            raise RunnerError(
+                f"run {name!r}: point {point.display()!r} failed after "
+                f"{len(outcome.record.attempts)} attempt(s){detail}{hint}"
+            )
+    commit()
+    return BatchOutcome(
+        results=results, failures=journal.failures(), journal=journal
+    )

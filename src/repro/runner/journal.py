@@ -1,0 +1,254 @@
+"""Run journal: the structured record of a fault-tolerant batch run.
+
+Every point the executor touches leaves a :class:`PointRecord` with its
+full attempt history — errors, wall times, and any deterministic
+degradations (e.g. a coarser bunch size) applied on retries.  The
+journal is what makes a partial run auditable: it is rendered by
+:func:`repro.reporting.text.format_run_journal`, persisted inside
+checkpoints, and drives the CLI's partial-failure exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import RunnerError
+
+#: Point statuses a journal records.
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+STATUS_CACHED = "cached"  # reused from a resume checkpoint, not recomputed
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One evaluation attempt at one point.
+
+    Attributes
+    ----------
+    index:
+        0-based attempt number (0 is the first try, >= 1 are retries).
+    error_type:
+        Exception class name, or ``""`` if the attempt succeeded.
+    error_message:
+        Stringified exception, or ``""`` on success.
+    wall_time_s:
+        Wall-clock seconds the attempt took (including failed ones).
+    degradation:
+        Deterministic fallback knobs applied for this attempt
+        (e.g. ``{"bunch_scale": 2.0}``); empty on the first attempt.
+    """
+
+    index: int
+    error_type: str = ""
+    error_message: str = ""
+    wall_time_s: float = 0.0
+    degradation: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether this attempt succeeded."""
+        return not self.error_type
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "error_message": self.error_message,
+            "wall_time_s": self.wall_time_s,
+            "degradation": dict(self.degradation),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "AttemptRecord":
+        return AttemptRecord(
+            index=payload["index"],
+            error_type=payload.get("error_type", ""),
+            error_message=payload.get("error_message", ""),
+            wall_time_s=payload.get("wall_time_s", 0.0),
+            degradation=dict(payload.get("degradation", {})),
+        )
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """A point that exhausted every attempt without producing a result.
+
+    Attributes
+    ----------
+    key:
+        The point's stable identity (checkpoint key).
+    value:
+        The knob value / corner name / candidate label evaluated.
+    attempts:
+        Full attempt history, last entry being the fatal one.
+    """
+
+    key: str
+    value: object
+    attempts: Tuple[AttemptRecord, ...] = ()
+
+    @property
+    def error_type(self) -> str:
+        """Exception class name of the final attempt."""
+        return self.attempts[-1].error_type if self.attempts else ""
+
+    @property
+    def error_message(self) -> str:
+        """Exception message of the final attempt."""
+        return self.attempts[-1].error_message if self.attempts else ""
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "key": self.key,
+            "value": self.value,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PointFailure":
+        return PointFailure(
+            key=payload["key"],
+            value=payload.get("value"),
+            attempts=tuple(
+                AttemptRecord.from_dict(a) for a in payload.get("attempts", ())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class PointRecord:
+    """Journal entry for one point of a batch run."""
+
+    key: str
+    value: object
+    status: str  # STATUS_COMPLETED | STATUS_FAILED | STATUS_CACHED
+    attempts: Tuple[AttemptRecord, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "value": self.value,
+            "status": self.status,
+            "attempts": [a.to_dict() for a in self.attempts],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "PointRecord":
+        return PointRecord(
+            key=payload["key"],
+            value=payload.get("value"),
+            status=payload["status"],
+            attempts=tuple(
+                AttemptRecord.from_dict(a) for a in payload.get("attempts", ())
+            ),
+        )
+
+
+@dataclass
+class RunJournal:
+    """Accumulated record of one batch run (mutable; append-only).
+
+    Attributes
+    ----------
+    name:
+        The run's name (also the checkpoint's run identity).
+    records:
+        One :class:`PointRecord` per point touched, in run order.
+    """
+
+    name: str
+    records: List[PointRecord] = field(default_factory=list)
+
+    def add(self, record: PointRecord) -> None:
+        """Append a point record."""
+        self.records.append(record)
+
+    def by_status(self, status: str) -> List[PointRecord]:
+        """Records with the given status, in run order."""
+        return [r for r in self.records if r.status == status]
+
+    @property
+    def completed(self) -> int:
+        """Points evaluated successfully this run."""
+        return len(self.by_status(STATUS_COMPLETED))
+
+    @property
+    def cached(self) -> int:
+        """Points reused from a resume checkpoint."""
+        return len(self.by_status(STATUS_CACHED))
+
+    @property
+    def failed(self) -> int:
+        """Points that exhausted every attempt."""
+        return len(self.by_status(STATUS_FAILED))
+
+    @property
+    def retries(self) -> int:
+        """Total retry attempts across all points (attempts beyond the first)."""
+        return sum(max(0, len(r.attempts) - 1) for r in self.records)
+
+    @property
+    def total_wall_time_s(self) -> float:
+        """Wall-clock seconds summed over every attempt."""
+        return sum(a.wall_time_s for r in self.records for a in r.attempts)
+
+    def degradations(self) -> Dict[str, Tuple[str, Mapping[str, float]]]:
+        """Per-point fallback knobs of the *successful* attempt.
+
+        Returns ``{key: (status, degradation)}`` for points whose winning
+        attempt ran degraded — the audit trail that a journal promises:
+        no silent accuracy loss.
+        """
+        out: Dict[str, Tuple[str, Mapping[str, float]]] = {}
+        for record in self.records:
+            if record.status == STATUS_COMPLETED and record.attempts:
+                last = record.attempts[-1]
+                if last.degradation:
+                    out[record.key] = (record.status, last.degradation)
+        return out
+
+    def failures(self) -> Tuple[PointFailure, ...]:
+        """Failed points as :class:`PointFailure` rows."""
+        return tuple(
+            PointFailure(key=r.key, value=r.value, attempts=r.attempts)
+            for r in self.by_status(STATUS_FAILED)
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        parts = [f"{self.completed} completed"]
+        if self.cached:
+            parts.append(f"{self.cached} resumed")
+        if self.failed:
+            parts.append(f"{self.failed} FAILED")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        return (
+            f"run {self.name!r}: {', '.join(parts)} "
+            f"({self.total_wall_time_s:.2f} s of solve time)"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RunJournal":
+        try:
+            return RunJournal(
+                name=payload["name"],
+                records=[
+                    PointRecord.from_dict(r) for r in payload.get("records", ())
+                ],
+            )
+        except KeyError as exc:
+            raise RunnerError(
+                f"malformed run-journal payload: missing {exc}"
+            ) from exc

@@ -72,59 +72,139 @@ def node_to_dict(node: TechnologyNode) -> dict:
     }
 
 
+_MISSING = object()
+
+
+def _section(payload: dict, path: str) -> dict:
+    """Fetch a required sub-object, diagnosing by field path."""
+    if path not in payload:
+        raise ConfigurationError(
+            f"technology node: missing required section {path!r}"
+        )
+    section = payload[path]
+    if not isinstance(section, dict):
+        raise ConfigurationError(
+            f"technology node field {path!r}: expected a JSON object, "
+            f"got {type(section).__name__}"
+        )
+    return section
+
+
+def _number(
+    mapping: dict,
+    path: str,
+    minimum: float = 0.0,
+    exclusive: bool = True,
+    default: object = _MISSING,
+) -> float:
+    """Fetch and range-check one numeric field.
+
+    Diagnostics always name the full field path and the expected range
+    (e.g. ``metal_rules.global.min_width: expected a number > 0``), so
+    a malformed ``--node-file`` fails with one actionable line instead
+    of a traceback.
+    """
+    key = path.rsplit(".", 1)[-1]
+    if key not in mapping:
+        if default is not _MISSING:
+            return float(default)  # optional field
+        raise ConfigurationError(
+            f"technology node: missing required field {path!r}"
+        )
+    value = mapping[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"technology node field {path!r}: expected a number, got {value!r}"
+        )
+    bound = f"> {minimum:g}" if exclusive else f">= {minimum:g}"
+    if (value <= minimum) if exclusive else (value < minimum):
+        raise ConfigurationError(
+            f"technology node field {path!r}: expected a number {bound}, "
+            f"got {value!r}"
+        )
+    return float(value)
+
+
+def _name(mapping: dict, path: str) -> str:
+    key = path.rsplit(".", 1)[-1]
+    value = mapping.get(key)
+    if not isinstance(value, str) or not value:
+        raise ConfigurationError(
+            f"technology node field {path!r}: expected a non-empty string, "
+            f"got {value!r}"
+        )
+    return value
+
+
 def node_from_dict(payload: dict) -> TechnologyNode:
-    """Deserialize a node; raises ConfigurationError on malformed input."""
-    try:
-        metal_rules = {
-            tier: MetalRule(
-                min_width=rule["min_width"],
-                min_spacing=rule["min_spacing"],
-                thickness=rule["thickness"],
-                ild_height=rule.get("ild_height", 0.0),
+    """Deserialize a node; raises ConfigurationError on malformed input.
+
+    Every missing, non-numeric, or out-of-range field is reported with
+    its full path and the expected range.
+    """
+    metal_rules = {}
+    for tier, rule in _section(payload, "metal_rules").items():
+        if not isinstance(rule, dict):
+            raise ConfigurationError(
+                f"technology node field 'metal_rules.{tier}': "
+                f"expected a JSON object, got {type(rule).__name__}"
             )
-            for tier, rule in payload["metal_rules"].items()
-        }
-        via_rules = {
-            tier: ViaRule(
-                min_width=rule["min_width"],
-                enclosure=rule.get("enclosure", 0.0),
+        prefix = f"metal_rules.{tier}"
+        metal_rules[tier] = MetalRule(
+            min_width=_number(rule, f"{prefix}.min_width"),
+            min_spacing=_number(rule, f"{prefix}.min_spacing"),
+            thickness=_number(rule, f"{prefix}.thickness"),
+            ild_height=_number(
+                rule, f"{prefix}.ild_height", exclusive=False, default=0.0
+            ),
+        )
+    via_rules = {}
+    for tier, rule in _section(payload, "via_rules").items():
+        if not isinstance(rule, dict):
+            raise ConfigurationError(
+                f"technology node field 'via_rules.{tier}': "
+                f"expected a JSON object, got {type(rule).__name__}"
             )
-            for tier, rule in payload["via_rules"].items()
-        }
-        device_data = payload["device"]
-        device = DeviceParameters(
-            output_resistance=device_data["output_resistance"],
-            input_capacitance=device_data["input_capacitance"],
-            parasitic_capacitance=device_data["parasitic_capacitance"],
-            min_inverter_area=device_data["min_inverter_area"],
-            supply_voltage=device_data.get("supply_voltage", 1.2),
-        )
-        conductor_data = payload["conductor"]
-        dielectric_data = payload["dielectric"]
-        return TechnologyNode(
-            name=payload["name"],
-            feature_size=payload["feature_size"],
-            metal_rules=metal_rules,
-            via_rules=via_rules,
-            device=device,
-            conductor=Conductor(
-                name=conductor_data["name"],
-                resistivity=conductor_data["resistivity"],
+        prefix = f"via_rules.{tier}"
+        via_rules[tier] = ViaRule(
+            min_width=_number(rule, f"{prefix}.min_width"),
+            enclosure=_number(
+                rule, f"{prefix}.enclosure", exclusive=False, default=0.0
             ),
-            dielectric=Dielectric(
-                name=dielectric_data["name"],
-                relative_permittivity=dielectric_data["relative_permittivity"],
-            ),
-            gate_pitch_factor=payload.get("gate_pitch_factor", 12.6),
         )
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"malformed technology-node payload: missing {exc}"
-        ) from exc
-    except TypeError as exc:
-        raise ConfigurationError(
-            f"malformed technology-node payload: {exc}"
-        ) from exc
+    device_data = _section(payload, "device")
+    device = DeviceParameters(
+        output_resistance=_number(device_data, "device.output_resistance"),
+        input_capacitance=_number(device_data, "device.input_capacitance"),
+        parasitic_capacitance=_number(
+            device_data, "device.parasitic_capacitance", exclusive=False
+        ),
+        min_inverter_area=_number(device_data, "device.min_inverter_area"),
+        supply_voltage=_number(device_data, "device.supply_voltage", default=1.2),
+    )
+    conductor_data = _section(payload, "conductor")
+    dielectric_data = _section(payload, "dielectric")
+    return TechnologyNode(
+        name=_name(payload, "name"),
+        feature_size=_number(payload, "feature_size"),
+        metal_rules=metal_rules,
+        via_rules=via_rules,
+        device=device,
+        conductor=Conductor(
+            name=_name(conductor_data, "conductor.name"),
+            resistivity=_number(conductor_data, "conductor.resistivity"),
+        ),
+        dielectric=Dielectric(
+            name=_name(dielectric_data, "dielectric.name"),
+            relative_permittivity=_number(
+                dielectric_data,
+                "dielectric.relative_permittivity",
+                minimum=1.0,
+                exclusive=False,
+            ),
+        ),
+        gate_pitch_factor=_number(payload, "gate_pitch_factor", default=12.6),
+    )
 
 
 def save_node(node: TechnologyNode, path: PathLike) -> None:
@@ -134,12 +214,22 @@ def save_node(node: TechnologyNode, path: PathLike) -> None:
 
 
 def load_node(path: PathLike) -> TechnologyNode:
-    """Read a node description from a JSON file."""
-    with open(path) as handle:
-        try:
+    """Read a node description from a JSON file.
+
+    Every failure mode — unreadable file, invalid JSON, missing or
+    out-of-range fields — raises :class:`ConfigurationError` with a
+    one-line actionable message, never an uncaught traceback.
+    """
+    try:
+        with open(path) as handle:
             payload = json.load(handle)
-        except json.JSONDecodeError as exc:
-            raise ConfigurationError(f"{path}: invalid JSON: {exc}") from exc
+    except OSError as exc:
+        raise ConfigurationError(f"{path}: cannot read node file: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: invalid JSON: {exc}") from exc
     if not isinstance(payload, dict):
         raise ConfigurationError(f"{path}: expected a JSON object")
-    return node_from_dict(payload)
+    try:
+        return node_from_dict(payload)
+    except ConfigurationError as exc:
+        raise ConfigurationError(f"{path}: {exc}") from exc

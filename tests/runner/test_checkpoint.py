@@ -1,0 +1,75 @@
+"""Tests for checkpoint files: atomicity, validation, resume identity."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.runner import RunJournal
+from repro.runner.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runner.journal import STATUS_COMPLETED, PointRecord
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        journal = RunJournal("demo")
+        journal.add(
+            PointRecord(key="a", value=1.0, status=STATUS_COMPLETED)
+        )
+        checkpoint = Checkpoint(
+            run="demo", points={"a": {"rank": 3}}, journal=journal
+        )
+        path = tmp_path / "ck.json"
+        save_checkpoint(checkpoint, path)
+        back = load_checkpoint(path)
+        assert back.run == "demo"
+        assert back.points == {"a": {"rank": 3}}
+        assert back.journal is not None
+        assert back.journal.records == journal.records
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(Checkpoint(run="demo", points={}), path)
+        assert os.listdir(tmp_path) == ["ck.json"]
+
+    def test_rewrite_replaces_atomically(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(Checkpoint(run="demo", points={"a": 1}), path)
+        save_checkpoint(Checkpoint(run="demo", points={"a": 1, "b": 2}), path)
+        assert load_checkpoint(path).points == {"a": 1, "b": 2}
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="ck.json"):
+            load_checkpoint(tmp_path / "ck.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = tmp_path / "ck.json"
+        path.write_text(
+            json.dumps({"format": "repro.sweep", "version": 1, "run": "x"})
+        )
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_run_name_mismatch_refuses_resume(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(Checkpoint(run="sweep:R", points={}), path)
+        with pytest.raises(CheckpointError, match="sweep:R"):
+            load_checkpoint(path, expect_run="sweep:K")
+
+    def test_matching_run_name_accepted(self, tmp_path):
+        path = tmp_path / "ck.json"
+        save_checkpoint(Checkpoint(run="sweep:R", points={}), path)
+        assert load_checkpoint(path, expect_run="sweep:R").run == "sweep:R"

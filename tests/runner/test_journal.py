@@ -1,0 +1,133 @@
+"""Tests for the run journal and its JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import RunJournal
+from repro.runner.journal import (
+    STATUS_CACHED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    AttemptRecord,
+    PointFailure,
+    PointRecord,
+)
+
+
+def _failed_record(key="R[1]=0.2", value=0.2):
+    return PointRecord(
+        key=key,
+        value=value,
+        status=STATUS_FAILED,
+        attempts=(
+            AttemptRecord(
+                index=0,
+                error_type="RankComputationError",
+                error_message="injected",
+                wall_time_s=0.01,
+            ),
+            AttemptRecord(
+                index=1,
+                error_type="DeadlineExceeded",
+                error_message="too slow",
+                wall_time_s=0.02,
+                degradation={"bunch_scale": 2.0},
+            ),
+        ),
+    )
+
+
+def _completed_record(key="R[0]=0.1", value=0.1, retried=False):
+    attempts = []
+    if retried:
+        attempts.append(
+            AttemptRecord(
+                index=0,
+                error_type="RankComputationError",
+                error_message="flaky",
+                wall_time_s=0.01,
+            )
+        )
+        attempts.append(
+            AttemptRecord(
+                index=1, wall_time_s=0.02, degradation={"bunch_scale": 2.0}
+            )
+        )
+    else:
+        attempts.append(AttemptRecord(index=0, wall_time_s=0.02))
+    return PointRecord(
+        key=key, value=value, status=STATUS_COMPLETED, attempts=tuple(attempts)
+    )
+
+
+class TestCounters:
+    def test_counts_by_status(self):
+        journal = RunJournal("demo")
+        journal.add(_completed_record())
+        journal.add(_failed_record())
+        journal.add(
+            PointRecord(key="R[2]=0.3", value=0.3, status=STATUS_CACHED)
+        )
+        assert journal.completed == 1
+        assert journal.failed == 1
+        assert journal.cached == 1
+
+    def test_retries_count_extra_attempts_only(self):
+        journal = RunJournal("demo")
+        journal.add(_completed_record(retried=True))  # 2 attempts -> 1 retry
+        journal.add(_failed_record())  # 2 attempts -> 1 retry
+        journal.add(_completed_record(key="R[3]=0.4", value=0.4))  # no retry
+        assert journal.retries == 2
+
+    def test_degradations_lists_coarsened_points(self):
+        journal = RunJournal("demo")
+        journal.add(_completed_record(retried=True))
+        journal.add(_completed_record(key="R[3]=0.4", value=0.4))
+        degraded = journal.degradations()
+        assert set(degraded) == {"R[0]=0.1"}
+
+    def test_failures_are_structured(self):
+        journal = RunJournal("demo")
+        journal.add(_failed_record())
+        (failure,) = journal.failures()
+        assert isinstance(failure, PointFailure)
+        assert failure.key == "R[1]=0.2"
+        assert failure.value == 0.2
+        assert failure.error_type == "DeadlineExceeded"
+        assert "too slow" in failure.error_message
+
+    def test_summary_mentions_failures(self):
+        journal = RunJournal("demo")
+        journal.add(_completed_record())
+        journal.add(_failed_record())
+        summary = journal.summary()
+        assert "demo" in summary
+        assert "1 completed" in summary
+        assert "FAILED" in summary
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        journal = RunJournal("demo")
+        journal.add(_completed_record(retried=True))
+        journal.add(_failed_record())
+        payload = json.loads(json.dumps(journal.to_dict()))
+        back = RunJournal.from_dict(payload)
+        assert back.name == journal.name
+        assert back.records == journal.records
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(RunnerError):
+            RunJournal.from_dict({"records": []})
+
+    def test_attempt_record_round_trip(self):
+        attempt = AttemptRecord(
+            index=1,
+            error_type="X",
+            error_message="y",
+            wall_time_s=1.5,
+            degradation={"bunch_scale": 4.0},
+        )
+        assert AttemptRecord.from_dict(attempt.to_dict()) == attempt

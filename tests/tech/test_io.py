@@ -81,3 +81,84 @@ class TestErrorHandling:
         payload["metal_rules"]["local"]["min_width"] = -1.0
         with pytest.raises(ConfigurationError):
             node_from_dict(payload)
+
+
+class TestFieldDiagnostics:
+    """Malformed node files are diagnosed by full field path and
+    expected range — one actionable line, never a traceback."""
+
+    def fresh(self):
+        return json.loads(json.dumps(node_to_dict(NODE_130NM)))
+
+    def test_negative_metal_field_names_path_and_range(self):
+        payload = self.fresh()
+        payload["metal_rules"]["global"]["min_width"] = -2e-7
+        with pytest.raises(
+            ConfigurationError,
+            match=r"metal_rules\.global\.min_width.*> 0",
+        ):
+            node_from_dict(payload)
+
+    def test_missing_nested_field_names_path(self):
+        payload = self.fresh()
+        del payload["device"]["input_capacitance"]
+        with pytest.raises(
+            ConfigurationError, match=r"device\.input_capacitance"
+        ):
+            node_from_dict(payload)
+
+    def test_non_numeric_field_rejected(self):
+        payload = self.fresh()
+        payload["feature_size"] = "130nm"
+        with pytest.raises(
+            ConfigurationError, match=r"feature_size.*expected a number"
+        ):
+            node_from_dict(payload)
+
+    def test_boolean_is_not_a_number(self):
+        payload = self.fresh()
+        payload["feature_size"] = True
+        with pytest.raises(ConfigurationError, match="expected a number"):
+            node_from_dict(payload)
+
+    def test_permittivity_below_one_rejected(self):
+        payload = self.fresh()
+        payload["dielectric"]["relative_permittivity"] = 0.5
+        with pytest.raises(
+            ConfigurationError,
+            match=r"dielectric\.relative_permittivity.*>= 1",
+        ):
+            node_from_dict(payload)
+
+    def test_empty_name_rejected(self):
+        payload = self.fresh()
+        payload["name"] = ""
+        with pytest.raises(ConfigurationError, match="non-empty string"):
+            node_from_dict(payload)
+
+    def test_section_must_be_object(self):
+        payload = self.fresh()
+        payload["via_rules"] = "nope"
+        with pytest.raises(ConfigurationError, match="via_rules"):
+            node_from_dict(payload)
+
+    def test_unreadable_file_errors_cleanly(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            load_node(tmp_path / "does-not-exist.json")
+
+    def test_load_node_prefixes_path(self, tmp_path):
+        payload = self.fresh()
+        payload["metal_rules"]["local"]["thickness"] = 0
+        path = tmp_path / "node.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError, match="node.json"):
+            load_node(path)
+
+    def test_optional_fields_default(self):
+        payload = self.fresh()
+        del payload["gate_pitch_factor"]
+        for rule in payload["via_rules"].values():
+            rule.pop("enclosure", None)
+        node = node_from_dict(payload)
+        assert node.gate_pitch_factor == pytest.approx(12.6)
+        assert node.via("local").enclosure == 0.0

@@ -148,3 +148,130 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Pareto" in out
         assert "best:" in out
+
+
+class TestExitCodes:
+    """The documented exit-code contract: 0 clean, 1 total failure or
+    library error, 2 usage error, 3 partial failure under --keep-going."""
+
+    FAST = ["--gates", "20000", "--bunch", "2000", "--units", "64"]
+
+    def _fail_points(self, monkeypatch, indices):
+        """Patch the sweep engine's compute_rank to fail chosen calls."""
+        import repro.analysis.sweep as sweep_mod
+
+        real = sweep_mod.compute_rank
+        state = {"calls": 0}
+
+        def flaky(problem, **kwargs):
+            index = state["calls"]
+            state["calls"] += 1
+            if indices is None or index in indices:
+                from repro.errors import RankComputationError
+
+                raise RankComputationError(f"injected (call {index})")
+            return real(problem, **kwargs)
+
+        monkeypatch.setattr(sweep_mod, "compute_rank", flaky)
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["sweep", "R", *self.FAST]) == 0
+
+    def test_usage_error_exits_two(self, capsys):
+        assert main(["sweep", "Z"]) == 2
+        assert main(["no-such-command"]) == 2
+
+    def test_library_error_exits_one(self, capsys):
+        assert main(["rank", "--node", "65nm"]) == 1
+
+    def test_total_failure_exits_one(self, monkeypatch, capsys):
+        self._fail_points(monkeypatch, None)  # every point fails
+        code = main(["sweep", "R", "--keep-going", *self.FAST])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err
+
+    def test_partial_failure_exits_three(self, monkeypatch, capsys):
+        self._fail_points(monkeypatch, {1})
+        code = main(["sweep", "R", "--keep-going", *self.FAST])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "RankComputationError" in err
+        assert "injected" in err
+
+    def test_strict_mode_failure_exits_one(self, monkeypatch, capsys):
+        self._fail_points(monkeypatch, {1})
+        code = main(["sweep", "R", *self.FAST])
+        assert code == 1
+
+    def test_resume_completes_partial_sweep(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        path = tmp_path / "ck.json"
+        self._fail_points(monkeypatch, {1})
+        assert main(
+            ["sweep", "R", "--keep-going", "--checkpoint", str(path),
+             *self.FAST]
+        ) == 3
+        monkeypatch.undo()
+        capsys.readouterr()
+        assert main(["sweep", "R", "--resume", str(path), *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) >= 5
+
+    def test_max_retries_recovers_transient_failure(
+        self, monkeypatch, capsys
+    ):
+        self._fail_points(monkeypatch, {1})  # attempt-level: only 1st try fails
+        code = main(["sweep", "R", "--max-retries", "1", *self.FAST])
+        assert code == 0
+
+
+class TestNodeFileDiagnostics:
+    """Malformed --node-file input exits 1 with a one-line diagnostic
+    naming the offending field — never a traceback."""
+
+    def _write(self, tmp_path, mutate):
+        import json
+
+        from repro.tech.io import node_to_dict
+        from repro.tech.presets import NODE_130NM
+
+        payload = json.loads(json.dumps(node_to_dict(NODE_130NM)))
+        mutate(payload)
+        path = tmp_path / "node.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_negative_field_names_field_and_range(self, tmp_path, capsys):
+        def mutate(p):
+            p["metal_rules"]["global"]["min_width"] = -1
+
+        code = main(["rank", "--node-file", self._write(tmp_path, mutate)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # a single diagnostic line
+        assert "metal_rules.global.min_width" in err
+        assert "> 0" in err
+
+    def test_missing_field_named(self, tmp_path, capsys):
+        def mutate(p):
+            del p["device"]["output_resistance"]
+
+        code = main(["rank", "--node-file", self._write(tmp_path, mutate)])
+        assert code == 1
+        assert "device.output_resistance" in capsys.readouterr().err
+
+    def test_non_numeric_field_named(self, tmp_path, capsys):
+        def mutate(p):
+            p["feature_size"] = "130nm"
+
+        code = main(["rank", "--node-file", self._write(tmp_path, mutate)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "feature_size" in err
+        assert "expected a number" in err
+
+    def test_missing_file_errors_cleanly(self, tmp_path, capsys):
+        code = main(["rank", "--node-file", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
