@@ -24,6 +24,7 @@ from ..errors import RankComputationError
 if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
     from pathlib import Path
 
+    from ..core.precompute import PrecomputeCache
     from ..runner.journal import PointFailure, RunJournal
     from ..runner.policy import RetryPolicy
 
@@ -160,6 +161,30 @@ class CornerReport:
         return self.nominal[1].normalized - self.worst[1].normalized
 
 
+@dataclass
+class _CornerEvaluate:
+    """Picklable corner evaluator (see :class:`.sweep._SweepEvaluate`)."""
+
+    problem: RankProblem
+    bunch_size: Optional[int]
+    repeater_units: int
+    cache: Optional["PrecomputeCache"] = None
+
+    def __call__(self, point, attempt) -> RankResult:
+        from ..runner.policy import scaled_bunch_size
+
+        variant = apply_corner(self.problem, point.value)
+        return compute_rank(
+            variant,
+            bunch_size=scaled_bunch_size(
+                self.bunch_size, dict(attempt.degradation)
+            ),
+            repeater_units=self.repeater_units,
+            deadline=attempt.deadline,
+            cache=self.cache,
+        )
+
+
 def rank_across_corners(
     problem: RankProblem,
     corners: Sequence[Corner] = STANDARD_CORNERS,
@@ -169,14 +194,21 @@ def rank_across_corners(
     keep_going: bool = False,
     checkpoint: Optional[Union[str, "Path"]] = None,
     resume: bool = False,
+    jobs: int = 1,
+    checkpoint_every: int = 1,
+    checkpoint_interval_s: Optional[float] = None,
+    cache: Optional["PrecomputeCache"] = None,
 ) -> CornerReport:
     """Evaluate the rank at every corner through the fault-tolerant harness.
 
     Returns a :class:`CornerReport`; ``report.worst`` is the sign-off
     number.  With ``keep_going=True`` a failing corner is recorded in
     ``report.failures`` instead of aborting the sign-off; ``checkpoint``
-    / ``resume`` journal completed corners across interruptions (see
-    :func:`repro.runner.run_batch`).
+    / ``resume`` journal completed corners across interruptions, and
+    ``jobs > 1`` evaluates corners in parallel with identical persisted
+    output (see :func:`repro.runner.run_batch`).  ``cache`` shares the
+    coarse-WLD/tables precomputation across corners and retries
+    (corners keep the WLD fixed, so it is warmed once in the parent).
     """
     if not corners:
         raise RankComputationError("need at least one corner")
@@ -188,23 +220,24 @@ def rank_across_corners(
 
     # Imported here, not at module top: the runner package reaches this
     # module through repro.reporting.persist.
+    from ..core.precompute import PrecomputeCache
     from ..reporting.persist import rank_result_from_dict, rank_result_to_dict
     from ..runner.executor import PointSpec, run_batch
-    from ..runner.policy import scaled_bunch_size
 
     specs = [
         PointSpec(key=corner.name, value=corner, label=corner.name)
         for corner in corners
     ]
 
-    def evaluate(point: "PointSpec", attempt) -> RankResult:
-        variant = apply_corner(problem, point.value)
-        return compute_rank(
-            variant,
-            bunch_size=scaled_bunch_size(bunch_size, dict(attempt.degradation)),
-            repeater_units=repeater_units,
-            deadline=attempt.deadline,
-        )
+    if cache is None:
+        cache = PrecomputeCache()
+    cache.warm(problem, bunch_size=bunch_size)
+    evaluate = _CornerEvaluate(
+        problem=problem,
+        bunch_size=bunch_size,
+        repeater_units=repeater_units,
+        cache=cache,
+    )
 
     outcome = run_batch(
         "corners",
@@ -216,6 +249,9 @@ def rank_across_corners(
         resume=resume,
         serialize=rank_result_to_dict,
         deserialize=rank_result_from_dict,
+        jobs=jobs,
+        checkpoint_every=checkpoint_every,
+        checkpoint_interval_s=checkpoint_interval_s,
     )
     results: List[Tuple[Corner, RankResult]] = [
         (corner, outcome.results[corner.name])

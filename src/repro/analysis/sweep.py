@@ -26,6 +26,7 @@ from ..errors import RankComputationError
 if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
     from pathlib import Path
 
+    from ..core.precompute import PrecomputeCache
     from ..runner.journal import PointFailure, RunJournal
     from ..runner.policy import RetryPolicy
 
@@ -150,6 +151,38 @@ class SweepResult:
         return all(a <= b + 1e-12 for a, b in pairs)
 
 
+@dataclass
+class _SweepEvaluate:
+    """Picklable point evaluator for :func:`run_sweep`.
+
+    A plain dataclass instead of a closure so ``jobs > 1`` can ship it
+    (with its :class:`~repro.core.precompute.PrecomputeCache`, warmed in
+    the parent) to worker processes through the pool initializer.
+    """
+
+    make_problem: Callable[[float], RankProblem]
+    solver: str
+    bunch_size: Optional[int]
+    max_groups: Optional[int]
+    repeater_units: int
+    cache: Optional["PrecomputeCache"] = None
+
+    def __call__(self, point, attempt) -> RankResult:
+        from ..runner.policy import scaled_bunch_size
+
+        return compute_rank(
+            self.make_problem(point.value),
+            solver=self.solver,
+            bunch_size=scaled_bunch_size(
+                self.bunch_size, dict(attempt.degradation)
+            ),
+            max_groups=self.max_groups,
+            repeater_units=self.repeater_units,
+            deadline=attempt.deadline,
+            cache=self.cache,
+        )
+
+
 def run_sweep(
     name: str,
     values: Sequence[float],
@@ -163,6 +196,10 @@ def run_sweep(
     keep_going: bool = False,
     checkpoint: Optional[Union[str, "Path"]] = None,
     resume: bool = False,
+    jobs: int = 1,
+    checkpoint_every: int = 1,
+    checkpoint_interval_s: Optional[float] = None,
+    cache: Optional["PrecomputeCache"] = None,
 ) -> SweepResult:
     """Generic sweep engine: evaluate rank at each knob value.
 
@@ -177,7 +214,9 @@ def run_sweep(
     values:
         Knob values in sweep order.
     make_problem:
-        Maps a knob value to the :class:`RankProblem` to solve.
+        Maps a knob value to the :class:`RankProblem` to solve.  Must
+        be picklable (module-level function or dataclass instance, not
+        a closure) when ``jobs > 1``.
     paper:
         Optional knob-value → paper-normalized-rank lookup.
     solver, bunch_size, max_groups, repeater_units:
@@ -192,31 +231,49 @@ def run_sweep(
         exhausted point raises :class:`~repro.errors.RunnerError` after
         checkpointing the completed prefix.
     checkpoint:
-        Path journaled incrementally (atomic rewrite after every
-        completed point).
+        Path journaled incrementally (atomic rewrite as points
+        complete; cadence set by ``checkpoint_every`` /
+        ``checkpoint_interval_s``).
     resume:
         Reload ``checkpoint`` and recompute only missing points.
+    jobs:
+        Worker processes (1 = sequential, 0 = one per CPU).  Results
+        and the persisted sweep are identical to a sequential run.
+    checkpoint_every / checkpoint_interval_s:
+        Amortize checkpoint writes (see :func:`repro.runner.run_batch`).
+    cache:
+        Optional :class:`~repro.core.precompute.PrecomputeCache`; when
+        given it is warmed on the first point's shared coarse WLD in
+        the parent, so parallel workers start with the shared
+        precomputation in hand.  Default: a fresh private cache.
     """
     # Imported here, not at module top: repro.reporting.persist imports
     # this module, and the runner package imports persist.
+    from ..core.precompute import PrecomputeCache
     from ..reporting.persist import rank_result_from_dict, rank_result_to_dict
     from ..runner.executor import PointSpec, run_batch
-    from ..runner.policy import scaled_bunch_size
 
     specs = [
         PointSpec(key=f"{name}[{i}]={value!r}", value=value, label=f"{name}={value:g}")
         for i, value in enumerate(values)
     ]
 
-    def evaluate(point: "PointSpec", attempt) -> RankResult:
-        return compute_rank(
-            make_problem(point.value),
-            solver=solver,
-            bunch_size=scaled_bunch_size(bunch_size, dict(attempt.degradation)),
-            max_groups=max_groups,
-            repeater_units=repeater_units,
-            deadline=attempt.deadline,
+    if cache is None:
+        cache = PrecomputeCache()
+    if values:
+        # Warm the shared coarse WLD before any worker is forked; the
+        # evaluator (cache included) is pickled once per worker.
+        cache.warm(
+            make_problem(values[0]), bunch_size=bunch_size, max_groups=max_groups
         )
+    evaluate = _SweepEvaluate(
+        make_problem=make_problem,
+        solver=solver,
+        bunch_size=bunch_size,
+        max_groups=max_groups,
+        repeater_units=repeater_units,
+        cache=cache,
+    )
 
     outcome = run_batch(
         f"sweep:{name}",
@@ -228,6 +285,9 @@ def run_sweep(
         resume=resume,
         serialize=rank_result_to_dict,
         deserialize=rank_result_from_dict,
+        jobs=jobs,
+        checkpoint_every=checkpoint_every,
+        checkpoint_interval_s=checkpoint_interval_s,
     )
 
     points: List[SweepPoint] = []
@@ -267,6 +327,62 @@ def _spec_from_problem(problem: RankProblem, **overrides) -> ArchitectureSpec:
     return replace(base, **overrides)
 
 
+# The point -> problem builders are dataclasses (not closures) so a
+# parallel sweep can pickle them to worker processes.
+
+
+@dataclass(frozen=True)
+class _PermittivityMake:
+    baseline: RankProblem
+    miller_factor: float
+
+    def __call__(self, k: float) -> RankProblem:
+        spec = _spec_from_problem(
+            self.baseline, permittivity=k, miller_factor=self.miller_factor
+        )
+        return self.baseline.with_arch(build_architecture(spec))
+
+
+@dataclass(frozen=True)
+class _MillerMake:
+    baseline: RankProblem
+    permittivity: float
+
+    def __call__(self, m: float) -> RankProblem:
+        spec = _spec_from_problem(
+            self.baseline, permittivity=self.permittivity, miller_factor=m
+        )
+        return self.baseline.with_arch(build_architecture(spec))
+
+
+@dataclass(frozen=True)
+class _ClockMake:
+    baseline: RankProblem
+
+    def __call__(self, frequency: float) -> RankProblem:
+        return self.baseline.with_clock_frequency(frequency)
+
+
+@dataclass(frozen=True)
+class _RepeaterFractionMake:
+    baseline: RankProblem
+
+    def __call__(self, fraction: float) -> RankProblem:
+        return self.baseline.with_repeater_fraction(fraction)
+
+
+@dataclass(frozen=True)
+class _TierScaleMake:
+    baseline: RankProblem
+    tier: str
+
+    def __call__(self, factor: float) -> RankProblem:
+        spec = _spec_from_problem(self.baseline).with_tier_scaling(
+            self.tier, factor
+        )
+        return self.baseline.with_arch(build_architecture(spec))
+
+
 def sweep_permittivity(
     baseline: RankProblem,
     values: Optional[Sequence[float]] = None,
@@ -276,13 +392,7 @@ def sweep_permittivity(
     """Table 4 column K: rank vs ILD permittivity (experiment E1)."""
     if values is None:
         values = [k for k, _ in PAPER_TABLE4_K]
-
-    def make(k: float) -> RankProblem:
-        spec = _spec_from_problem(
-            baseline, permittivity=k, miller_factor=miller_factor
-        )
-        return baseline.with_arch(build_architecture(spec))
-
+    make = _PermittivityMake(baseline=baseline, miller_factor=miller_factor)
     return run_sweep("K", values, make, paper=dict(PAPER_TABLE4_K), **kwargs)
 
 
@@ -295,13 +405,7 @@ def sweep_miller(
     """Table 4 column M: rank vs Miller coupling factor (experiment E2)."""
     if values is None:
         values = [m for m, _ in PAPER_TABLE4_M]
-
-    def make(m: float) -> RankProblem:
-        spec = _spec_from_problem(
-            baseline, permittivity=permittivity, miller_factor=m
-        )
-        return baseline.with_arch(build_architecture(spec))
-
+    make = _MillerMake(baseline=baseline, permittivity=permittivity)
     return run_sweep("M", values, make, paper=dict(PAPER_TABLE4_M), **kwargs)
 
 
@@ -313,11 +417,9 @@ def sweep_clock(
     """Table 4 column C: rank vs target clock frequency (experiment E3)."""
     if values is None:
         values = [c for c, _ in PAPER_TABLE4_C]
-
-    def make(frequency: float) -> RankProblem:
-        return baseline.with_clock_frequency(frequency)
-
-    return run_sweep("C", values, make, paper=dict(PAPER_TABLE4_C), **kwargs)
+    return run_sweep(
+        "C", values, _ClockMake(baseline), paper=dict(PAPER_TABLE4_C), **kwargs
+    )
 
 
 def sweep_repeater_fraction(
@@ -328,11 +430,13 @@ def sweep_repeater_fraction(
     """Table 4 column R: rank vs repeater area fraction (experiment E4)."""
     if values is None:
         values = [r for r, _ in PAPER_TABLE4_R]
-
-    def make(fraction: float) -> RankProblem:
-        return baseline.with_repeater_fraction(fraction)
-
-    return run_sweep("R", values, make, paper=dict(PAPER_TABLE4_R), **kwargs)
+    return run_sweep(
+        "R",
+        values,
+        _RepeaterFractionMake(baseline),
+        paper=dict(PAPER_TABLE4_R),
+        **kwargs,
+    )
 
 
 def sweep_tier_geometry(
@@ -350,9 +454,5 @@ def sweep_tier_geometry(
     its RC (quadratically in resistance) but halves its track count per
     doubling — the classic fat-wire trade-off.
     """
-
-    def make(factor: float) -> RankProblem:
-        spec = _spec_from_problem(baseline).with_tier_scaling(tier, factor)
-        return baseline.with_arch(build_architecture(spec))
-
+    make = _TierScaleMake(baseline=baseline, tier=tier)
     return run_sweep(f"geometry:{tier}", values, make, **kwargs)

@@ -165,6 +165,73 @@ def pack_suffix(
     )
 
 
+def _validate_range(
+    tables: AssignmentTables, start_group: int, top_pair: int
+) -> None:
+    if not 0 <= start_group <= tables.num_groups:
+        raise AssignmentError(
+            f"start_group {start_group} out of range for "
+            f"{tables.num_groups} groups"
+        )
+    if not 0 <= top_pair <= tables.num_pairs:
+        raise AssignmentError(
+            f"top_pair {top_pair} out of range for {tables.num_pairs} pairs"
+        )
+
+
+def _initial_state(tables: AssignmentTables, start_group: int):
+    """Packing cursor at the shortest wire: (group, group_remaining, total)."""
+    group = tables.num_groups - 1
+    return (
+        group,
+        int(tables.counts[group]),
+        int(tables.cum_wires[tables.num_groups] - tables.cum_wires[start_group]),
+    )
+
+
+def _fill_pair(
+    tables: AssignmentTables,
+    pair: int,
+    capacity: float,
+    start_group: int,
+    group: int,
+    group_remaining: int,
+    total_remaining: int,
+    record,
+):
+    """Pack one pair greedily; returns the advanced packing cursor."""
+    via_footprint = tables.vias_per_wire * float(tables.via_area[pair])
+    area_used = 0.0
+    wires_here = 0
+    while total_remaining > 0:
+        per_wire_area = float(tables.lengths_m[group]) * float(
+            tables.pair_pitch[pair]
+        )
+        fit = _max_assignable(
+            capacity,
+            area_used,
+            per_wire_area,
+            via_footprint,
+            total_remaining,
+            group_remaining,
+        )
+        if fit == 0:
+            break  # pair is full; continue in the next pair up
+        area_used += fit * per_wire_area
+        wires_here += fit
+        total_remaining -= fit
+        group_remaining -= fit
+        if group_remaining == 0:
+            group -= 1
+            if group < start_group:
+                assert total_remaining == 0
+                break
+            group_remaining = int(tables.counts[group])
+    if record is not None:
+        record(pair, wires_here, area_used)
+    return group, group_remaining, total_remaining
+
+
 def _pack(
     tables: AssignmentTables,
     start_group: int,
@@ -175,27 +242,16 @@ def _pack(
     record,
 ) -> bool:
     """Algorithm 5 engine shared by the boolean and detailed fronts."""
-    num_groups = tables.num_groups
-    num_pairs = tables.num_pairs
-    if not 0 <= start_group <= num_groups:
-        raise AssignmentError(
-            f"start_group {start_group} out of range for {num_groups} groups"
-        )
-    if not 0 <= top_pair <= num_pairs:
-        raise AssignmentError(
-            f"top_pair {top_pair} out of range for {num_pairs} pairs"
-        )
-    if start_group == num_groups:
+    _validate_range(tables, start_group, top_pair)
+    if start_group == tables.num_groups:
         return True  # nothing left to pack
-    if top_pair == num_pairs:
+    if top_pair == tables.num_pairs:
         return False  # wires remain but no pairs remain
 
     # Remaining wires per group, consumed shortest (last group) first.
-    group = num_groups - 1
-    group_remaining = int(tables.counts[group])
-    total_remaining = int(tables.cum_wires[num_groups] - tables.cum_wires[start_group])
+    group, group_remaining, total_remaining = _initial_state(tables, start_group)
 
-    for pair in range(num_pairs - 1, top_pair - 1, -1):
+    for pair in range(tables.num_pairs - 1, top_pair - 1, -1):
         if total_remaining == 0:
             return True
         if pair == top_pair and top_pair_leftover is not None:
@@ -204,34 +260,105 @@ def _pack(
             capacity = tables.capacity(pair, wires_above, repeaters_above)
         if capacity <= 0:
             continue
-        via_footprint = tables.vias_per_wire * float(tables.via_area[pair])
-        area_used = 0.0
-        wires_here = 0
-        while total_remaining > 0:
-            per_wire_area = float(tables.lengths_m[group]) * float(
-                tables.pair_pitch[pair]
-            )
-            fit = _max_assignable(
-                capacity,
-                area_used,
-                per_wire_area,
-                via_footprint,
-                total_remaining,
-                group_remaining,
-            )
-            if fit == 0:
-                break  # pair is full; continue in the next pair up
-            area_used += fit * per_wire_area
-            wires_here += fit
-            total_remaining -= fit
-            group_remaining -= fit
-            if group_remaining == 0:
-                group -= 1
-                if group < start_group:
-                    assert total_remaining == 0
-                    break
-                group_remaining = int(tables.counts[group])
-        if record is not None:
-            record(pair, wires_here, area_used)
+        group, group_remaining, total_remaining = _fill_pair(
+            tables,
+            pair,
+            capacity,
+            start_group,
+            group,
+            group_remaining,
+            total_remaining,
+            record,
+        )
 
     return total_remaining == 0
+
+
+def pack_required_leftover(
+    tables: AssignmentTables,
+    start_group: int,
+    top_pair: int,
+    wires_above: int,
+    repeaters_above: float,
+) -> float:
+    """Minimal ``top_pair_leftover`` that makes :func:`pack_suffix` succeed.
+
+    The packing of every pair *below* ``top_pair`` uses the pairs' own
+    blockage-adjusted capacities and never sees the leftover, so for a
+    fixed ``(start_group, top_pair, wires_above, repeaters_above)`` state
+    the suffix feasibility is a monotone threshold in the top pair's
+    leftover capacity.  This computes the threshold in one pass: pack
+    the lower pairs exactly as :func:`pack_suffix` would, then take the
+    binding constraint of Algorithm 5's check-before-assign loop over
+    the wires that remain for the top pair.
+
+    Returns ``0.0`` when the suffix packs without the top pair at all.
+    The DP solver memoizes this per ``(start_group, repeaters_above)``
+    state to prune repeated failing pack checks (the threshold is also
+    monotone non-decreasing in ``repeaters_above``: more prefix
+    repeaters shrink every lower pair, leaving more for the top pair).
+
+    Callers comparing a candidate leftover against the threshold should
+    leave a small relative margin and fall back to :func:`pack_suffix`
+    near the boundary: the closed-form constraint and the greedy loop
+    can disagree by floating-point ulps at exact ties.
+    """
+    _validate_range(tables, start_group, top_pair)
+    if start_group == tables.num_groups:
+        return 0.0
+    if top_pair >= tables.num_pairs:
+        raise AssignmentError(
+            f"top_pair {top_pair} out of range for {tables.num_pairs} pairs"
+        )
+
+    group, group_remaining, total_remaining = _initial_state(tables, start_group)
+    for pair in range(tables.num_pairs - 1, top_pair, -1):
+        if total_remaining == 0:
+            return 0.0
+        capacity = tables.capacity(pair, wires_above, repeaters_above)
+        if capacity <= 0:
+            continue
+        group, group_remaining, total_remaining = _fill_pair(
+            tables,
+            pair,
+            capacity,
+            start_group,
+            group,
+            group_remaining,
+            total_remaining,
+            record=None,
+        )
+    if total_remaining == 0:
+        return 0.0
+
+    # Required capacity of the top pair: for each group, the binding
+    # instant of Algorithm 5's loop — the x-th wire of the group needs
+    #   area_used + x * per_wire_area + (remaining - x) * via_footprint
+    # of capacity.  The left side is linear in x, so only the group's
+    # first wire (slope <= 0) or last wire (slope > 0) can bind.
+    via_footprint = tables.vias_per_wire * float(tables.via_area[top_pair])
+    area_used = 0.0
+    required = 0.0
+    while total_remaining > 0:
+        per_wire_area = float(tables.lengths_m[group]) * float(
+            tables.pair_pitch[top_pair]
+        )
+        slope = per_wire_area - via_footprint
+        if slope <= 0:
+            bind = area_used + per_wire_area + (total_remaining - 1) * via_footprint
+        else:
+            bind = (
+                area_used
+                + total_remaining * via_footprint
+                + group_remaining * slope
+            )
+        if bind > required:
+            required = bind
+        area_used += group_remaining * per_wire_area
+        total_remaining -= group_remaining
+        group -= 1
+        if group < start_group:
+            assert total_remaining == 0
+            break
+        group_remaining = int(tables.counts[group])
+    return required

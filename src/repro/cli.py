@@ -21,7 +21,10 @@ the fault-tolerant harness (:mod:`repro.runner`) and accept
 ``--checkpoint PATH`` (journal completed points atomically),
 ``--resume PATH`` (recompute only missing points), ``--max-retries N``
 and ``--timeout-s S`` (per-attempt retry budget and wall-clock
-deadline, with deterministic bunch-size degradation on retries).
+deadline, with deterministic bunch-size degradation on retries),
+``--jobs N`` (evaluate points on N worker processes, 0 = one per CPU;
+output is identical to a sequential run) and ``--checkpoint-every K``
+(amortize checkpoint rewrites to every K completed points).
 
 Exit codes (stable contract, asserted by ``tests/test_cli.py``):
 
@@ -162,6 +165,22 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         help="per-attempt wall-clock budget in seconds, enforced "
         "cooperatively inside the DP solver (0 disables)",
     )
+    group.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate points on N worker processes (0 = one per CPU); "
+        "results and checkpoints are identical to a sequential run",
+    )
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="rewrite the checkpoint every K completed points instead "
+        "of every point (trades re-computation on crash for less I/O)",
+    )
 
 
 def _runner_kwargs(args: argparse.Namespace) -> dict:
@@ -175,6 +194,8 @@ def _runner_kwargs(args: argparse.Namespace) -> dict:
         keep_going=args.keep_going,
         checkpoint=checkpoint,
         resume=bool(args.resume),
+        jobs=args.jobs,
+        checkpoint_every=args.checkpoint_every,
     )
 
 

@@ -21,12 +21,19 @@ from .curve import BudgetRankCurve, solve_budget_rank_curve
 from .dp import solve_rank_dp
 from .exhaustive import solve_rank_exhaustive
 from .greedy import solve_rank_greedy
+from .precompute import PrecomputeCache
 from .problem import RankProblem
 from .rank import RankResult, compute_rank
 from .reference import solve_rank_reference
-from .scenarios import baseline_problem, paper_baseline_130nm
+from .scenarios import (
+    baseline_problem,
+    configure_davis_cache,
+    davis_cache_info,
+    paper_baseline_130nm,
+)
 
 __all__ = [
+    "PrecomputeCache",
     "RankProblem",
     "RankResult",
     "compute_rank",
@@ -37,5 +44,7 @@ __all__ = [
     "solve_rank_reference",
     "solve_rank_exhaustive",
     "baseline_problem",
+    "configure_davis_cache",
+    "davis_cache_info",
     "paper_baseline_130nm",
 ]

@@ -34,7 +34,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..assign.greedy_assign import pack_suffix
+from ..assign.greedy_assign import pack_required_leftover, pack_suffix
 from ..assign.tables import AssignmentTables
 from ..errors import DeadlineExceeded, RankComputationError
 from .discretize import DEFAULT_REPEATER_UNITS, discretize_repeaters
@@ -94,6 +94,7 @@ class SolverStats:
     transitions: int = 0
     pack_checks: int = 0
     pack_successes: int = 0
+    pack_pruned: int = 0
     runtime_seconds: float = field(default=0.0, compare=False)
 
 
@@ -185,6 +186,18 @@ def solve_rank_dp(
         cum_ins = tables.cum_inserted[pair]
         delay_limit = tables.next_infeasible[pair]
 
+        # Failed-pack memo for this pair: end group -> list of
+        # (repeaters_above, required_leftover) thresholds.  For a fixed
+        # (e, z) the suffix pack is a monotone threshold in the top
+        # pair's leftover (the lower pairs never see it), and the
+        # threshold only grows with z (more via blockage shrinks every
+        # lower pair), so leftover < required(z0) with z >= z0 proves
+        # failure without re-packing.  The threshold costs one extra
+        # pack-shaped pass, so it is computed lazily on the *second*
+        # failure at the same (e, z) — one-shot failures stay cheap.
+        pack_thresholds: dict = {}
+        pack_failed_once: set = set()
+
         for b in range(num_groups + 1):
             check_deadline(deadline, where=f"dp pair {pair}, group {b}")
             row = f_prev[b]
@@ -243,19 +256,44 @@ def solve_rank_dp(
                     e = int(es[idx])
                     if int(cum_wires[e]) <= best_rank:
                         break
+                    z_here = float(nz[idx])
+                    leftover_here = float(leftover[idx])
+                    thresholds = pack_thresholds.get(e)
+                    if thresholds is not None and any(
+                        z_here >= z0 and leftover_here < req * (1.0 - 1e-9)
+                        for z0, req in thresholds
+                    ):
+                        # Margin keeps the memo conservative: near-tie
+                        # leftovers fall through to the real pack, so
+                        # ulp disagreements cannot change the answer.
+                        stats.pack_pruned += 1
+                        continue
                     stats.pack_checks += 1
                     if pack_suffix(
                         tables,
                         e,
                         pair,
                         int(cum_wires[e]),
-                        float(nz[idx]),
-                        top_pair_leftover=float(leftover[idx]),
+                        z_here,
+                        top_pair_leftover=leftover_here,
                     ):
                         stats.pack_successes += 1
                         best_rank = int(cum_wires[e])
                         best_trace = (pair, b, e, r)
                         break
+                    key = (e, z_here)
+                    if key in pack_failed_once:
+                        pack_failed_once.discard(key)
+                        pack_thresholds.setdefault(e, []).append(
+                            (
+                                z_here,
+                                pack_required_leftover(
+                                    tables, e, pair, int(cum_wires[e]), z_here
+                                ),
+                            )
+                        )
+                    else:
+                        pack_failed_once.add(key)
 
         if keep_parents:
             # Cummin over the budget axis with parent propagation, so

@@ -11,7 +11,10 @@ so every solver consumes identical physics.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:
+    from .precompute import PrecomputeCache
 
 from ..arch.die import DieModel
 from ..arch.stack import InterconnectArchitecture
@@ -125,16 +128,32 @@ class RankProblem:
         self,
         bunch_size: Optional[int] = None,
         max_groups: Optional[int] = None,
+        cache: Optional["PrecomputeCache"] = None,
     ) -> Tuple[AssignmentTables, int]:
         """Build assignment tables on the (optionally coarsened) WLD.
 
         The target model keeps ``l_max`` from the *original* WLD so that
-        coarsening never changes the target-delay scale.
+        coarsening never changes the target-delay scale.  With a
+        :class:`~repro.core.precompute.PrecomputeCache`, both the coarse
+        WLD and the finished tables are reused across value-identical
+        requests (see that module for the keying).
         """
+        if cache is not None:
+            return cache.tables(
+                self, bunch_size=bunch_size, max_groups=max_groups
+            )
         coarse, error_bound = self.coarsened_wld(
             bunch_size=bunch_size, max_groups=max_groups
         )
-        tables = build_tables(
+        return self.tables_on(coarse), error_bound
+
+    def tables_on(self, coarse: WireLengthDistribution) -> AssignmentTables:
+        """Build assignment tables on an already-coarsened WLD.
+
+        Split out of :meth:`tables` so the precompute cache can reuse a
+        shared coarse WLD across points while building per-point tables.
+        """
+        return build_tables(
             arch=self.arch,
             die=self.die,
             wld=coarse,
@@ -145,7 +164,6 @@ class RankProblem:
             pair_capacity_factor=self.pair_capacity_factor,
             driver_policy=self.driver_policy,
         )
-        return tables, error_bound
 
     # ------------------------------------------------------------------
     # Sweep knobs (return modified copies)

@@ -11,7 +11,7 @@ flag, and the coarsening error bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..errors import RankComputationError
 from .discretize import DEFAULT_REPEATER_UNITS
@@ -20,6 +20,9 @@ from .exhaustive import solve_rank_exhaustive
 from .greedy import solve_rank_greedy
 from .problem import RankProblem
 from .reference import solve_rank_reference
+
+if TYPE_CHECKING:
+    from .precompute import PrecomputeCache
 
 #: Registered solver names.
 SOLVERS = ("dp", "greedy", "reference", "exhaustive")
@@ -82,6 +85,7 @@ def compute_rank(
     repeater_units: int = DEFAULT_REPEATER_UNITS,
     collect_witness: bool = False,
     deadline: Optional[float] = None,
+    cache: Optional["PrecomputeCache"] = None,
 ) -> RankResult:
     """Compute the rank of the problem's architecture.
 
@@ -108,6 +112,10 @@ def compute_rank(
         The DP solver checks it cooperatively inside its main loop;
         the other solvers check it once before solving.  Raises
         :class:`~repro.errors.DeadlineExceeded` when it has passed.
+    cache:
+        Optional :class:`~repro.core.precompute.PrecomputeCache`: reuse
+        coarsened WLDs and assignment tables across value-identical
+        requests (sweep points, corner retries, search revisits).
 
     Returns
     -------
@@ -118,7 +126,7 @@ def compute_rank(
             f"unknown solver {solver!r}; choose from {SOLVERS}"
         )
     tables, error_bound = problem.tables(
-        bunch_size=bunch_size, max_groups=max_groups
+        bunch_size=bunch_size, max_groups=max_groups, cache=cache
     )
     check_deadline(deadline, where="compute_rank (after table build)")
 

@@ -23,6 +23,7 @@ from .space import DesignSpace
 if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
     from pathlib import Path
 
+    from ..core.precompute import PrecomputeCache
     from ..runner.executor import BatchOutcome
     from ..runner.journal import PointFailure, RunJournal
     from ..runner.policy import RetryPolicy
@@ -135,6 +136,26 @@ def _solve(
     return compute_rank(variant, **solve_options)
 
 
+@dataclass
+class _CandidateEvaluate:
+    """Picklable candidate evaluator (see :class:`..analysis.sweep._SweepEvaluate`)."""
+
+    problem: RankProblem
+    shielding_aware: bool
+    solve_options: Dict[str, object]
+
+    def __call__(self, point, attempt) -> RankResult:
+        from ..runner.policy import scaled_bunch_size
+
+        options = dict(self.solve_options)
+        if "bunch_size" in options:
+            options["bunch_size"] = scaled_bunch_size(
+                options["bunch_size"], dict(attempt.degradation)
+            )
+        options["deadline"] = attempt.deadline
+        return _solve(self.problem, point.value, options, self.shielding_aware)
+
+
 def evaluate_candidates_batch(
     problem: RankProblem,
     specs: Sequence[ArchitectureSpec],
@@ -143,6 +164,10 @@ def evaluate_candidates_batch(
     keep_going: bool = False,
     checkpoint: Optional[Union[str, "Path"]] = None,
     resume: bool = False,
+    jobs: int = 1,
+    checkpoint_every: int = 1,
+    checkpoint_interval_s: Optional[float] = None,
+    cache: Optional["PrecomputeCache"] = None,
     **solve_options,
 ) -> Tuple[List[CandidateResult], "BatchOutcome"]:
     """Rank every candidate through the fault-tolerant harness.
@@ -151,12 +176,15 @@ def evaluate_candidates_batch(
     :class:`~repro.runner.BatchOutcome` carrying failures and the run
     journal.  Checkpoints store only the rank results; candidates are
     re-derived from the (deterministic) spec enumeration on resume.
+    ``jobs > 1`` evaluates candidates in parallel with identical
+    results; ``cache`` shares the coarse WLD (identical across every
+    candidate — only the architecture varies) and repeated tables.
     """
     # Imported here, not at module top: the runner package reaches
     # analysis.sweep through repro.reporting.persist.
+    from ..core.precompute import PrecomputeCache
     from ..reporting.persist import rank_result_from_dict, rank_result_to_dict
     from ..runner.executor import PointSpec, run_batch
-    from ..runner.policy import scaled_bunch_size
 
     points = [
         PointSpec(
@@ -167,14 +195,20 @@ def evaluate_candidates_batch(
         for i, spec in enumerate(specs)
     ]
 
-    def evaluate(point: "PointSpec", attempt) -> RankResult:
-        options = dict(solve_options)
-        if "bunch_size" in options:
-            options["bunch_size"] = scaled_bunch_size(
-                options["bunch_size"], dict(attempt.degradation)
-            )
-        options["deadline"] = attempt.deadline
-        return _solve(problem, point.value, options, shielding_aware)
+    if cache is None:
+        cache = PrecomputeCache()
+    cache.warm(
+        problem,
+        bunch_size=solve_options.get("bunch_size"),
+        max_groups=solve_options.get("max_groups"),
+    )
+    options = dict(solve_options)
+    options["cache"] = cache
+    evaluate = _CandidateEvaluate(
+        problem=problem,
+        shielding_aware=shielding_aware,
+        solve_options=options,
+    )
 
     outcome = run_batch(
         "optimize",
@@ -186,6 +220,9 @@ def evaluate_candidates_batch(
         resume=resume,
         serialize=rank_result_to_dict,
         deserialize=rank_result_from_dict,
+        jobs=jobs,
+        checkpoint_every=checkpoint_every,
+        checkpoint_interval_s=checkpoint_interval_s,
     )
     results = [
         CandidateResult(spec=point.value, result=outcome.results[point.key])
@@ -273,13 +310,16 @@ def hill_climb(
     policy: Optional["RetryPolicy"] = None,
     keep_going: bool = False,
     journal: Optional["RunJournal"] = None,
+    cache: Optional["PrecomputeCache"] = None,
     **solve_options,
 ) -> List[CandidateResult]:
     """Best-improvement hill climb over single-knob moves.
 
     Returns the trajectory (including the start); the last element is a
     local optimum of the neighbourhood.  Already-evaluated specs are
-    cached so the climb never re-solves a candidate.
+    memoized so the climb never re-solves a candidate, and a
+    :class:`~repro.core.precompute.PrecomputeCache` (a fresh one unless
+    passed in) shares the coarse WLD across every candidate.
 
     Each candidate solve runs under the fault-tolerant harness'
     per-point executor: with ``keep_going=True`` a failing neighbour is
@@ -287,14 +327,29 @@ def hill_climb(
     aborting the climb; the starting candidate failing always raises
     :class:`~repro.errors.RunnerError` — there is nothing to climb from.
     """
+    from ..core.precompute import PrecomputeCache
     from ..runner.executor import PointSpec, execute_point
-    from ..runner.policy import RetryPolicy, scaled_bunch_size
+    from ..runner.policy import RetryPolicy
 
     if max_steps < 1:
         raise RankComputationError(f"max_steps must be positive, got {max_steps!r}")
     policy = policy if policy is not None else RetryPolicy()
     current_spec = initial if initial is not None else space.default_spec()
-    cache: Dict[tuple, Optional[RankResult]] = {}
+    solved: Dict[tuple, Optional[RankResult]] = {}
+    if cache is None:
+        cache = PrecomputeCache()
+    cache.warm(
+        problem,
+        bunch_size=solve_options.get("bunch_size"),
+        max_groups=solve_options.get("max_groups"),
+    )
+    options = dict(solve_options)
+    options["cache"] = cache
+    evaluate = _CandidateEvaluate(
+        problem=problem,
+        shielding_aware=shielding_aware,
+        solve_options=options,
+    )
 
     def key(spec: ArchitectureSpec) -> tuple:
         # TechnologyNode holds dicts (unhashable); key on the knobs.
@@ -306,18 +361,9 @@ def hill_climb(
             spec.miller_factor,
         )
 
-    def evaluate(point: "PointSpec", attempt) -> RankResult:
-        options = dict(solve_options)
-        if "bunch_size" in options:
-            options["bunch_size"] = scaled_bunch_size(
-                options["bunch_size"], dict(attempt.degradation)
-            )
-        options["deadline"] = attempt.deadline
-        return _solve(problem, point.value, options, shielding_aware)
-
     def solve(spec: ArchitectureSpec) -> Optional[RankResult]:
         k = key(spec)
-        if k not in cache:
+        if k not in solved:
             label = _spec_label(spec)
             outcome = execute_point(
                 PointSpec(key=label, value=spec, label=label), evaluate, policy
@@ -330,8 +376,8 @@ def hill_climb(
                     f"{len(outcome.record.attempts)} attempt(s): "
                     f"{outcome.record.attempts[-1].error_message}"
                 )
-            cache[k] = outcome.result if outcome.ok else None
-        return cache[k]
+            solved[k] = outcome.result if outcome.ok else None
+        return solved[k]
 
     start = solve(current_spec)
     if start is None:
@@ -365,6 +411,10 @@ def optimize_architecture(
     keep_going: bool = False,
     checkpoint: Optional[Union[str, "Path"]] = None,
     resume: bool = False,
+    jobs: int = 1,
+    checkpoint_every: int = 1,
+    checkpoint_interval_s: Optional[float] = None,
+    cache: Optional["PrecomputeCache"] = None,
     **solve_options,
 ) -> OptimizationResult:
     """Search a design space for the highest-rank architecture.
@@ -378,8 +428,9 @@ def optimize_architecture(
     bounds per-candidate attempts and wall-clock, ``keep_going`` skips
     failing candidates instead of aborting, and ``checkpoint`` /
     ``resume`` journal the exhaustive enumeration across interruptions
-    (the adaptive hill climb supports isolation and retries but not
-    checkpointing).
+    (the adaptive hill climb supports isolation, retries, and the
+    shared precompute ``cache``, but not checkpointing or ``jobs`` —
+    its moves are sequentially dependent).
 
     Returns
     -------
@@ -399,6 +450,10 @@ def optimize_architecture(
             keep_going=keep_going,
             checkpoint=checkpoint,
             resume=resume,
+            jobs=jobs,
+            checkpoint_every=checkpoint_every,
+            checkpoint_interval_s=checkpoint_interval_s,
+            cache=cache,
             **solve_options,
         )
         failures, journal = outcome.failures, outcome.journal
@@ -419,6 +474,7 @@ def optimize_architecture(
             policy=policy,
             keep_going=keep_going,
             journal=journal,
+            cache=cache,
             **solve_options,
         )
         failures = journal.failures()

@@ -96,6 +96,7 @@ def rank_result_to_dict(result: RankResult) -> dict:
             "transitions": result.stats.transitions,
             "pack_checks": result.stats.pack_checks,
             "pack_successes": result.stats.pack_successes,
+            "pack_pruned": result.stats.pack_pruned,
             "runtime_seconds": result.stats.runtime_seconds,
         },
     }
@@ -123,6 +124,8 @@ def rank_result_from_dict(payload: dict) -> RankResult:
             transitions=stats_data["transitions"],
             pack_checks=stats_data["pack_checks"],
             pack_successes=stats_data["pack_successes"],
+            # absent in pre-memoization files: those ran unpruned
+            pack_pruned=stats_data.get("pack_pruned", 0),
             runtime_seconds=stats_data["runtime_seconds"],
         )
         witness = None

@@ -5,8 +5,10 @@ Every batched evaluation in the library — Table 4 sweeps
 (:func:`repro.analysis.corners.rank_across_corners`), and architecture
 search (:mod:`repro.optimize.search`) — routes through
 :func:`run_batch`, which adds per-point fault isolation,
-checkpoint/resume, and deterministic retry/degradation policies on top
-of any ``(point) -> result`` evaluation.
+checkpoint/resume, deterministic retry/degradation policies, and
+optional process-pool parallelism (``jobs=N``; results come back in
+batch point order regardless of completion order) on top of any
+``(point) -> result`` evaluation.
 
 Quickstart::
 
@@ -41,6 +43,7 @@ from .journal import (
     PointRecord,
     RunJournal,
 )
+from .parallel import resolve_jobs
 from .policy import RetryPolicy, scaled_bunch_size
 
 __all__ = [
@@ -60,6 +63,7 @@ __all__ = [
     "STATUS_FAILED",
     "execute_point",
     "load_checkpoint",
+    "resolve_jobs",
     "run_batch",
     "save_checkpoint",
     "scaled_bunch_size",

@@ -9,14 +9,22 @@ needs:
   :class:`~repro.runner.journal.PointFailure` instead of aborting the
   other points (``keep_going=True``), or aborts *after* journaling and
   checkpointing everything completed so far (strict mode);
-* **checkpoint/resume** — each completed point is immediately journaled
-  to an atomically-rewritten checkpoint file, and ``resume=True``
-  recomputes only the points the checkpoint is missing;
+* **checkpoint/resume** — completed points are journaled to an
+  atomically-rewritten checkpoint file (every point by default;
+  amortizable with ``checkpoint_every`` / ``checkpoint_interval_s``),
+  and ``resume=True`` recomputes only the points the checkpoint is
+  missing;
 * **retry with deterministic degradation** — a
   :class:`~repro.runner.policy.RetryPolicy` bounds attempts and
   per-attempt wall-clock, and walks a deterministic fallback ladder
   (coarser bunch size), with every degradation recorded in the
   :class:`~repro.runner.journal.RunJournal`.
+
+``jobs > 1`` dispatches points to a process pool
+(:mod:`repro.runner.parallel`) with all three guarantees intact, and
+results, journal, and checkpoint re-canonicalized into batch point
+order — the persisted output of a parallel run is identical to the
+sequential one (timing fields aside).
 """
 
 from __future__ import annotations
@@ -36,6 +44,11 @@ from .journal import (
     PointFailure,
     PointRecord,
     RunJournal,
+)
+from .parallel import (
+    dumps_worker_payload,
+    execute_points_parallel,
+    resolve_jobs,
 )
 from .policy import RetryPolicy
 
@@ -210,6 +223,85 @@ def execute_point(
     )
 
 
+class _Committer:
+    """Amortized, canonically-ordered checkpoint writes.
+
+    ``mark()`` once per completed point; the checkpoint is rewritten
+    when ``every`` points accumulated or ``interval_s`` elapsed since
+    the last write (whichever comes first), and always on
+    :meth:`commit`.  Before every write the checkpoint's point dict is
+    reordered into batch point order, so the file on disk does not
+    depend on completion order — a parallel run persists byte-for-byte
+    what the sequential run would.
+    """
+
+    def __init__(
+        self,
+        checkpoint: Checkpoint,
+        path: Optional[PathLike],
+        order: Sequence[str],
+        every: int,
+        interval_s: Optional[float],
+    ) -> None:
+        self._checkpoint = checkpoint
+        self._path = path
+        self._order = tuple(order)
+        self._every = every
+        self._interval_s = interval_s
+        self._pending = 0
+        self._stamp = time.monotonic()
+
+    def mark(self) -> None:
+        """Note one completed point; write if the amortization says so."""
+        self._pending += 1
+        if self._pending >= self._every:
+            self.commit()
+        elif (
+            self._interval_s is not None
+            and time.monotonic() - self._stamp >= self._interval_s
+        ):
+            self.commit()
+
+    def commit(self) -> None:
+        """Write the checkpoint now (no-op without a checkpoint path)."""
+        self._pending = 0
+        if self._path is None:
+            return
+        points = self._checkpoint.points
+        ordered = {k: points[k] for k in self._order if k in points}
+        for key, value in points.items():  # stale resume keys, kept last
+            if key not in ordered:
+                ordered[key] = value
+        self._checkpoint.points = ordered
+        save_checkpoint(self._checkpoint, self._path)
+        self._stamp = time.monotonic()
+
+
+def _strict_failure(
+    name: str,
+    point: PointSpec,
+    record: PointRecord,
+    checkpoint_path: Optional[PathLike],
+) -> RunnerError:
+    """The strict-mode abort error (identical for every backend)."""
+    last = record.attempts[-1] if record.attempts else None
+    detail = (
+        f": last attempt raised {last.error_type}: {last.error_message}"
+        if last
+        else ""
+    )
+    hint = (
+        f" (completed points are checkpointed in {checkpoint_path}; "
+        f"re-run with resume to continue)"
+        if checkpoint_path is not None
+        else ""
+    )
+    return RunnerError(
+        f"run {name!r}: point {point.display()!r} failed after "
+        f"{len(record.attempts)} attempt(s){detail}{hint}"
+    )
+
+
 def run_batch(
     name: str,
     points: Sequence[PointSpec],
@@ -220,6 +312,9 @@ def run_batch(
     resume: bool = False,
     serialize: Optional[Callable[[object], object]] = None,
     deserialize: Optional[Callable[[object], object]] = None,
+    jobs: int = 1,
+    checkpoint_every: int = 1,
+    checkpoint_interval_s: Optional[float] = None,
 ) -> BatchOutcome:
     """Evaluate every point with isolation, checkpointing, and retries.
 
@@ -234,24 +329,40 @@ def run_batch(
         ``(point, attempt) -> result``.  Honour ``attempt.deadline``
         and ``attempt.degradation`` to get timeouts and the fallback
         ladder; a plain callable that ignores them still gets isolation
-        and checkpointing.
+        and checkpointing.  With ``jobs > 1`` it must be picklable (a
+        module-level function or dataclass instance, not a closure).
     policy:
         Attempt budget / timeout / degradation ladder (default: one
         attempt, no timeout).
     keep_going:
         True: record failures and continue to the next point.  False
         (strict): checkpoint what is done, then raise
-        :class:`~repro.errors.RunnerError` on the first exhausted point.
+        :class:`~repro.errors.RunnerError` on the first exhausted point
+        (in batch order; a parallel run cancels not-yet-started points
+        but still checkpoints everything that finished).
     checkpoint_path:
-        When given, the checkpoint is (re)written atomically after
-        every completed point — an interrupted run loses at most the
-        in-flight point.
+        When given, the checkpoint is (re)written atomically as points
+        complete — an interrupted run at the default cadence loses at
+        most the in-flight point.
     resume:
         Load ``checkpoint_path`` and skip every point it already has
         (recorded as ``cached`` in the journal).
     serialize / deserialize:
         Result <-> JSON-payload hooks for checkpointing (identity by
         default, i.e. results must already be JSON-compatible).
+    jobs:
+        Worker processes: 1 (default) runs in-process, ``N > 1`` runs a
+        process pool, 0 means one worker per CPU.  Results, journal,
+        and checkpoint come back in batch point order regardless.
+    checkpoint_every:
+        Amortize checkpoint writes: rewrite the file every this many
+        completed points (default 1 — every point).
+    checkpoint_interval_s:
+        Also rewrite whenever this many seconds elapsed since the last
+        write, regardless of the point count.  ``None`` disables the
+        time trigger.  A final write always happens on every exit path
+        (success, strict-mode abort, or propagating error), so
+        amortization never loses finished points beyond a hard kill.
 
     Returns
     -------
@@ -260,6 +371,16 @@ def run_batch(
     policy = policy if policy is not None else RetryPolicy()
     serialize = serialize if serialize is not None else (lambda result: result)
     deserialize = deserialize if deserialize is not None else (lambda payload: payload)
+    jobs = resolve_jobs(jobs)
+    if checkpoint_every < 1:
+        raise RunnerError(
+            f"run {name!r}: checkpoint_every must be >= 1, got {checkpoint_every!r}"
+        )
+    if checkpoint_interval_s is not None and checkpoint_interval_s <= 0:
+        raise RunnerError(
+            f"run {name!r}: checkpoint_interval_s must be positive, "
+            f"got {checkpoint_interval_s!r}"
+        )
 
     seen = set()
     for point in points:
@@ -271,6 +392,9 @@ def run_batch(
         seen.add(point.key)
     if resume and checkpoint_path is None:
         raise RunnerError(f"run {name!r}: resume requested without a checkpoint path")
+    if jobs > 1:
+        # Fail fast (and pickle exactly once) before any worker forks.
+        payload = dumps_worker_payload(name, evaluate, policy)
 
     cached: Dict[str, object] = {}
     if resume:
@@ -279,50 +403,149 @@ def run_batch(
     journal = RunJournal(name=name)
     checkpoint = Checkpoint(run=name, points=dict(cached), journal=journal)
     results: Dict[str, object] = {}
-
-    def commit() -> None:
-        if checkpoint_path is not None:
-            save_checkpoint(checkpoint, checkpoint_path)
+    committer = _Committer(
+        checkpoint,
+        checkpoint_path,
+        order=[point.key for point in points],
+        every=checkpoint_every,
+        interval_s=checkpoint_interval_s,
+    )
 
     # Write the identity file up front so even a run killed before its
     # first completed point leaves a resumable (empty) checkpoint.
-    commit()
+    committer.commit()
 
+    try:
+        if jobs == 1:
+            _run_sequential(
+                name,
+                points,
+                evaluate,
+                policy,
+                keep_going,
+                checkpoint_path,
+                cached,
+                deserialize,
+                serialize,
+                journal,
+                checkpoint,
+                results,
+                committer,
+            )
+        else:
+            _run_parallel(
+                name,
+                points,
+                payload,
+                jobs,
+                keep_going,
+                checkpoint_path,
+                cached,
+                deserialize,
+                serialize,
+                journal,
+                checkpoint,
+                results,
+                committer,
+            )
+    finally:
+        # Final write on every exit path: normal return, strict-mode
+        # abort, or a propagating evaluator/worker error.
+        committer.commit()
+    return BatchOutcome(
+        results=results, failures=journal.failures(), journal=journal
+    )
+
+
+def _cached_record(point: PointSpec) -> PointRecord:
+    return PointRecord(
+        key=point.key, value=point.journal_value(), status=STATUS_CACHED
+    )
+
+
+def _run_sequential(
+    name,
+    points,
+    evaluate,
+    policy,
+    keep_going,
+    checkpoint_path,
+    cached,
+    deserialize,
+    serialize,
+    journal,
+    checkpoint,
+    results,
+    committer,
+) -> None:
     for point in points:
         if point.key in cached:
             results[point.key] = deserialize(cached[point.key])
-            journal.add(
-                PointRecord(
-                    key=point.key, value=point.journal_value(), status=STATUS_CACHED
-                )
-            )
+            journal.add(_cached_record(point))
             continue
         outcome = execute_point(point, evaluate, policy)
         journal.add(outcome.record)
         if outcome.ok:
             results[point.key] = outcome.result
             checkpoint.points[point.key] = serialize(outcome.result)
-            commit()
+            committer.mark()
             continue
         if not keep_going:
-            commit()
-            last = outcome.record.attempts[-1] if outcome.record.attempts else None
-            detail = (
-                f": last attempt raised {last.error_type}: {last.error_message}"
-                if last
-                else ""
-            )
-            hint = (
-                f" (completed points are checkpointed in {checkpoint_path}; "
-                f"re-run with resume to continue)"
-                if checkpoint_path is not None
-                else ""
-            )
-            raise RunnerError(
-                f"run {name!r}: point {point.display()!r} failed after "
-                f"{len(outcome.record.attempts)} attempt(s){detail}{hint}"
-            )
-    commit()
-    return BatchOutcome(
-        results=results, failures=journal.failures(), journal=journal
+            raise _strict_failure(name, point, outcome.record, checkpoint_path)
+
+
+def _run_parallel(
+    name,
+    points,
+    payload,
+    jobs,
+    keep_going,
+    checkpoint_path,
+    cached,
+    deserialize,
+    serialize,
+    journal,
+    checkpoint,
+    results,
+    committer,
+) -> None:
+    outcomes: Dict[str, PointOutcome] = {}
+
+    def on_outcome(point: PointSpec, outcome: PointOutcome) -> None:
+        # Completion order: journal provisionally (so mid-run
+        # checkpoints stay informative) and persist finished results.
+        outcomes[point.key] = outcome
+        journal.add(outcome.record)
+        if outcome.ok:
+            checkpoint.points[point.key] = serialize(outcome.result)
+            committer.mark()
+
+    execute_points_parallel(
+        name,
+        [point for point in points if point.key not in cached],
+        payload,
+        jobs,
+        on_outcome,
+        stop_on_failure=not keep_going,
     )
+
+    # Deterministic merge: rebuild journal and results in batch point
+    # order so the outcome is independent of worker scheduling.
+    journal.records.clear()
+    first_failure: Optional[Tuple[PointSpec, PointRecord]] = None
+    for point in points:
+        if point.key in cached:
+            results[point.key] = deserialize(cached[point.key])
+            journal.add(_cached_record(point))
+            continue
+        outcome = outcomes.get(point.key)
+        if outcome is None:
+            continue  # cancelled after a strict-mode failure
+        journal.add(outcome.record)
+        if outcome.ok:
+            results[point.key] = outcome.result
+        elif first_failure is None:
+            first_failure = (point, outcome.record)
+    if first_failure is not None and not keep_going:
+        point, record = first_failure
+        raise _strict_failure(name, point, record, checkpoint_path)

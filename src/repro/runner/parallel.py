@@ -1,0 +1,137 @@
+"""Process-pool backend for the fault-tolerant batch executor.
+
+:func:`repro.runner.executor.run_batch` dispatches independent points
+to a :class:`concurrent.futures.ProcessPoolExecutor` when asked for
+``jobs > 1``.  The design keeps the sequential contract intact:
+
+* each worker runs the *same* :func:`~repro.runner.executor.execute_point`
+  driver, so retry budgets, the degradation ladder, and cooperative
+  per-attempt deadlines (:func:`repro.core.dp.check_deadline`) are
+  enforced inside the worker process exactly as they are in-process;
+* the ``(evaluate, policy)`` pair is pickled **once** and shipped to
+  each worker via the pool initializer — evaluators that carry a
+  :class:`~repro.core.precompute.PrecomputeCache` hand every worker a
+  warm copy of the shared precomputation instead of rebuilding it per
+  point;
+* outcomes are reported to the caller in completion order (for
+  incremental checkpointing) and the caller re-canonicalizes results,
+  journal, and checkpoint into batch point order, so the persisted
+  output of ``jobs=N`` is identical to ``jobs=1``.
+
+Closures and lambdas cannot cross process boundaries; parallel runs
+require a picklable evaluator (a module-level function or a dataclass
+instance such as the ones in :mod:`repro.analysis.sweep`).  The payload
+is pickled *before* any worker starts so an unpicklable evaluator fails
+fast with an actionable :class:`~repro.errors.RunnerError`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional, Sequence
+
+from ..errors import RunnerError
+
+#: Per-worker state installed by the pool initializer.
+_worker_state: dict = {}
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` request to a concrete worker count.
+
+    ``None`` and ``1`` mean sequential; ``0`` means one worker per
+    available CPU; anything negative is an error.
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise RunnerError(f"jobs must be >= 0 (0 = one per CPU), got {jobs!r}")
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def dumps_worker_payload(name: str, evaluate, policy) -> bytes:
+    """Pickle ``(evaluate, policy)`` for shipment to worker processes.
+
+    Raising here — before any process is forked — turns the classic
+    late ``PicklingError`` inside the pool into an immediate, explained
+    failure.
+    """
+    try:
+        return pickle.dumps((evaluate, policy), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise RunnerError(
+            f"run {name!r}: evaluate/policy cannot be pickled for parallel "
+            f"execution ({type(exc).__name__}: {exc}); jobs > 1 needs a "
+            f"module-level function or a dataclass instance, not a closure "
+            f"or lambda — or run with jobs=1"
+        ) from exc
+
+
+def _init_worker(payload: bytes) -> None:
+    _worker_state["evaluate"], _worker_state["policy"] = pickle.loads(payload)
+
+
+def _worker_execute(point):
+    from .executor import execute_point
+
+    return execute_point(
+        point, _worker_state["evaluate"], _worker_state["policy"]
+    )
+
+
+def execute_points_parallel(
+    name: str,
+    points: Sequence,
+    payload: bytes,
+    jobs: int,
+    on_outcome: Callable,
+    stop_on_failure: bool,
+) -> None:
+    """Run ``points`` through a worker pool, reporting in completion order.
+
+    ``on_outcome(point, outcome)`` is invoked in the parent for every
+    finished point.  With ``stop_on_failure`` the first exhausted point
+    cancels every not-yet-started one (strict mode); already-running
+    points are allowed to finish and are still reported, so everything
+    computed gets checkpointed.  Worker exceptions (non-retryable
+    evaluator errors) propagate with their original type; a worker
+    process dying (OOM kill, segfault) surfaces as
+    :class:`~repro.errors.RunnerError`.
+    """
+    if not points:
+        return
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(points)),
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = {pool.submit(_worker_execute, p): p for p in points}
+            try:
+                pending = set(futures)
+                failed = False
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        if future.cancelled():
+                            continue
+                        outcome = future.result()
+                        on_outcome(futures[future], outcome)
+                        if stop_on_failure and not outcome.ok and not failed:
+                            failed = True
+                            for other in pending:
+                                other.cancel()
+            finally:
+                for future in futures:
+                    future.cancel()
+    except BrokenProcessPool as exc:
+        raise RunnerError(
+            f"run {name!r}: a worker process died unexpectedly "
+            f"(jobs={jobs}); completed points are checkpointed — "
+            f"re-run with resume to continue ({exc})"
+        ) from exc

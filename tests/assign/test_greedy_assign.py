@@ -154,3 +154,75 @@ class TestLemma1:
         greedy = pack_suffix(tables, 0, 2, 0, 0)
         brute = brute_force_pack(tables, 0, 2, 0, 0)
         assert greedy == brute
+
+
+class TestPackRequiredLeftover:
+    """The closed-form leftover threshold must bracket the real packer:
+    below it pack_suffix fails, at-or-above it succeeds.  The DP's memo
+    prunes only below ``threshold * (1 - 1e-9)``, so agreement here is
+    what keeps the pruning sound."""
+
+    def test_zero_when_suffix_fits_without_top_pair(self, tables):
+        from repro.assign.greedy_assign import pack_required_leftover
+
+        assert pack_suffix(tables, 0, 0, 0, 0)
+        # Suffix already fits with a zero-capacity top pair => threshold 0.
+        if pack_suffix(tables, 0, 0, 0, 0, top_pair_leftover=0.0):
+            assert pack_required_leftover(tables, 0, 0, 0, 0) == 0.0
+
+    def test_threshold_brackets_pack_suffix(self, tables):
+        from repro.assign.greedy_assign import pack_required_leftover
+
+        checked = 0
+        for start in range(tables.num_groups + 1):
+            for top in range(tables.num_pairs):
+                for wires_above in (0, 5, 50):
+                    req = pack_required_leftover(
+                        tables, start, top, wires_above, 0
+                    )
+                    if req == 0.0:
+                        continue
+                    assert not pack_suffix(
+                        tables,
+                        start,
+                        top,
+                        wires_above,
+                        0,
+                        top_pair_leftover=req * (1.0 - 1e-6),
+                    )
+                    assert pack_suffix(
+                        tables,
+                        start,
+                        top,
+                        wires_above,
+                        0,
+                        top_pair_leftover=req * (1.0 + 1e-6),
+                    )
+                    checked += 1
+        assert checked > 0  # the sweep actually exercised thresholds
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=1, max_value=1500), min_size=1, max_size=6
+        ),
+        wires_above=st.integers(min_value=0, max_value=30),
+        repeaters_above=st.integers(min_value=0, max_value=3),
+    )
+    def test_threshold_monotone_in_repeaters(
+        self, lengths, wires_above, repeaters_above, arch130, die130
+    ):
+        """More repeater blockage never lowers the required leftover."""
+        from repro.assign.greedy_assign import pack_required_leftover
+
+        tables = make_tables(
+            arch130, die130, [(float(l), 2) for l in set(lengths)]
+        )
+        rep_area = 1e-10
+        lo = pack_required_leftover(
+            tables, 0, 1, wires_above, repeaters_above * rep_area
+        )
+        hi = pack_required_leftover(
+            tables, 0, 1, wires_above, (repeaters_above + 1) * rep_area
+        )
+        assert hi >= lo

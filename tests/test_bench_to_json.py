@@ -1,0 +1,48 @@
+"""Smoke test for the machine-readable benchmark harness.
+
+Runs ``tools/bench_to_json.py`` at a tiny size exactly as CI's
+benchmark job does and validates the emitted schema — the contract
+downstream tooling (and the CI divergence gate) relies on.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_bench_emits_valid_report(tmp_path):
+    out = tmp_path / "BENCH_rank.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO / "tools" / "bench_to_json.py"),
+            "--gates", "50000",
+            "--bunch", "2000",
+            "--units", "64",
+            "--sweep", "R",
+            "--points", "2",
+            "--jobs", "2",
+            "--out", str(out),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    assert report["format"] == "repro.bench"
+    assert report["batch"]["identical"] is True
+    assert report["batch"]["points"] == 2
+    assert report["batch"]["sequential"]["points_per_s"] > 0
+    assert report["batch"]["parallel"]["points_per_s"] > 0
+    assert report["solver_stats"]["rank"] > 0
+    assert set(report["stages"]) == {
+        "davis_wld_s", "coarsen_s", "tables_s", "solve_dp_s"
+    }
+    assert report["machine"]["cpu_count"] >= 1
+    # Sequential run reuses the warmed coarse WLD on every point.
+    seq_cache = report["precompute_cache"]["sequential"]
+    assert seq_cache["hits"]["coarsened"] == 2

@@ -70,6 +70,23 @@ class TestCommands:
         assert out.startswith("R,normalized_rank_repro")
         assert len(out.strip().splitlines()) == 6  # header + 5 R points
 
+    def test_sweep_jobs_output_identical(self, capsys):
+        argv = ["sweep", "R", "--gates", "50000", "--bunch", "2000",
+                "--units", "64", "--csv"]
+        outputs = []
+        for jobs in ("1", "2"):
+            assert main(argv + ["--jobs", jobs]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_jobs_rejects_negative(self, capsys):
+        code = main(
+            ["sweep", "R", "--gates", "50000", "--bunch", "2000",
+             "--units", "64", "--jobs", "-1"]
+        )
+        assert code == 1
+        assert "jobs" in capsys.readouterr().err
+
     def test_error_reported_as_exit_code(self, capsys):
         code = main(["rank", "--node", "65nm"])
         assert code == 1

@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Machine-readable benchmark harness: emit ``BENCH_rank.json``.
+
+Times the solver pipeline stage by stage (Davis WLD, coarsening,
+assignment tables, DP solve), then runs one Table 4 sweep twice —
+sequentially and through the parallel batch backend — and records
+points/sec for both plus the speedup.  The parallel sweep is checked
+point-by-point against the sequential one (timing fields normalized
+away); any divergence makes the run exit non-zero, which is what CI's
+benchmark smoke job asserts.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/bench_to_json.py \
+        --gates 200000 --bunch 5000 --units 128 --sweep R --jobs 4
+
+The output schema is documented in docs/usage.md ("Reading
+BENCH_rank.json").  Wall-clock numbers are machine-dependent by
+nature; ``machine.cpu_count`` is recorded so a speedup below the
+worker count on a starved runner can be interpreted honestly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+#: Schema version of the emitted file.
+BENCH_FORMAT = "repro.bench"
+BENCH_VERSION = 1
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _normalized_points(sweep) -> list:
+    """Sweep points as JSON payloads with timing fields zeroed."""
+    from repro.reporting.persist import rank_result_to_dict
+
+    points = []
+    for point in sweep.points:
+        payload = rank_result_to_dict(point.result)
+        payload["stats"]["runtime_seconds"] = 0.0
+        points.append({"value": point.value, "result": payload})
+    return points
+
+
+def _journal_statuses(sweep) -> list:
+    return [(r.key, r.status) for r in sweep.journal.records]
+
+
+def run_bench(args) -> dict:
+    from repro.core.dp import solve_rank_dp
+    from repro.core.precompute import PrecomputeCache
+    from repro.core.scenarios import (
+        BASELINE_RENT_EXPONENT,
+        baseline_problem,
+        davis_cache_info,
+    )
+    from repro.analysis import sweep as sweep_mod
+    from repro.wld.davis import DavisParameters, davis_wld
+
+    bunch = args.bunch or None
+
+    # --- Stage timings (one cold pass through the pipeline) ----------
+    wld, davis_s = _timed(
+        lambda: davis_wld(
+            DavisParameters(
+                gate_count=args.gates, rent_exponent=BASELINE_RENT_EXPONENT
+            )
+        )
+    )
+    problem = baseline_problem(args.node, args.gates, wld=wld)
+    (coarse_pair), coarsen_s = _timed(
+        lambda: problem.coarsened_wld(bunch_size=bunch)
+    )
+    tables, tables_s = _timed(lambda: problem.tables_on(coarse_pair[0]))
+    solution, solve_s = _timed(
+        lambda: solve_rank_dp(tables, repeater_units=args.units)
+    )
+
+    # --- Sequential vs parallel sweep --------------------------------
+    sweeps = {
+        "K": sweep_mod.sweep_permittivity,
+        "M": sweep_mod.sweep_miller,
+        "C": sweep_mod.sweep_clock,
+        "R": sweep_mod.sweep_repeater_fraction,
+    }
+    sweep_fn = sweeps[args.sweep]
+    values = None
+    if args.points:
+        defaults = {
+            "K": sweep_mod.PAPER_TABLE4_K,
+            "M": sweep_mod.PAPER_TABLE4_M,
+            "C": sweep_mod.PAPER_TABLE4_C,
+            "R": sweep_mod.PAPER_TABLE4_R,
+        }[args.sweep]
+        values = [v for v, _ in defaults][: args.points]
+
+    options = dict(bunch_size=bunch, repeater_units=args.units)
+    cache_seq = PrecomputeCache()
+    seq, seq_s = _timed(
+        lambda: sweep_fn(problem, values=values, jobs=1, cache=cache_seq, **options)
+    )
+    cache_par = PrecomputeCache()
+    par, par_s = _timed(
+        lambda: sweep_fn(
+            problem, values=values, jobs=args.jobs, cache=cache_par, **options
+        )
+    )
+
+    identical = (
+        _normalized_points(seq) == _normalized_points(par)
+        and _journal_statuses(seq) == _journal_statuses(par)
+    )
+    n_points = len(seq.points)
+
+    stats = solution.stats
+    report = {
+        "format": BENCH_FORMAT,
+        "version": BENCH_VERSION,
+        "config": {
+            "node": args.node,
+            "gates": args.gates,
+            "bunch_size": bunch,
+            "repeater_units": args.units,
+            "sweep": args.sweep,
+            "points": n_points,
+            "jobs": args.jobs,
+        },
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "stages": {
+            "davis_wld_s": davis_s,
+            "coarsen_s": coarsen_s,
+            "tables_s": tables_s,
+            "solve_dp_s": solve_s,
+        },
+        "solver_stats": {
+            "rank": solution.rank,
+            "states_explored": stats.states_explored,
+            "transitions": stats.transitions,
+            "pack_checks": stats.pack_checks,
+            "pack_successes": stats.pack_successes,
+            "pack_pruned": stats.pack_pruned,
+        },
+        "batch": {
+            "points": n_points,
+            "sequential": {
+                "wall_s": seq_s,
+                "points_per_s": n_points / seq_s if seq_s > 0 else None,
+            },
+            "parallel": {
+                "jobs": args.jobs,
+                "wall_s": par_s,
+                "points_per_s": n_points / par_s if par_s > 0 else None,
+            },
+            "speedup": seq_s / par_s if par_s > 0 else None,
+            "identical": identical,
+        },
+        # Parent-side counters only: each worker populates its own
+        # pickled copy of the cache, which never travels back.
+        "precompute_cache": {
+            "sequential": cache_seq.stats(),
+            "parallel_parent": cache_par.stats(),
+        },
+        "davis_cache": davis_cache_info()._asdict(),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--node", default="130nm")
+    parser.add_argument("--gates", type=int, default=1_000_000)
+    parser.add_argument(
+        "--bunch", type=int, default=10_000, help="bunch size (0 = unbunched)"
+    )
+    parser.add_argument("--units", type=int, default=512, help="repeater cells")
+    parser.add_argument(
+        "--sweep", default="R", choices=("K", "M", "C", "R"), help="column to run"
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=0,
+        help="limit the sweep to its first N values (0 = full column)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=4, help="parallel workers (0 = one per CPU)"
+    )
+    parser.add_argument("--out", default="BENCH_rank.json", help="output path")
+    args = parser.parse_args(argv)
+
+    report = run_bench(args)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    batch = report["batch"]
+    print(
+        f"wrote {args.out}: {batch['points']} points, "
+        f"seq {batch['sequential']['wall_s']:.2f}s "
+        f"({batch['sequential']['points_per_s']:.2f} pts/s), "
+        f"par[{args.jobs}] {batch['parallel']['wall_s']:.2f}s "
+        f"({batch['parallel']['points_per_s']:.2f} pts/s), "
+        f"speedup {batch['speedup']:.2f}x on "
+        f"{report['machine']['cpu_count']} CPUs"
+    )
+    if not batch["identical"]:
+        print(
+            "ERROR: parallel sweep diverged from sequential output",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
