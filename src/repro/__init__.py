@@ -36,6 +36,7 @@ from .core import (
     solve_rank_greedy,
     solve_rank_reference,
 )
+from . import obs
 from .optimize import DesignSpace, optimize_architecture
 from .power import PowerModel, witness_power
 from .errors import (
@@ -118,6 +119,8 @@ __all__ = [
     "optimize_architecture",
     "PowerModel",
     "witness_power",
+    # observability
+    "obs",
     # fault-tolerant run harness
     "BatchOutcome",
     "PointFailure",

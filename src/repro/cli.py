@@ -10,10 +10,17 @@ Installed as ``ia-rank`` (see pyproject) and runnable as
 * ``optimize`` — architecture search (Section 6),
 * ``curve`` — the rank(budget) curve in one DP pass,
 * ``report`` — per-pair assignment usage + timing slack,
-* ``corners`` — sign-off rank across process/operating corners.
+* ``corners`` — sign-off rank across process/operating corners,
+* ``stats`` — render the metrics section of a trace or benchmark file.
 
 Any design-taking command accepts ``--node-file my_node.json`` to run
 on a custom JSON-described process.
+
+Compute commands (``rank``, ``sweep``, ``optimize``, ``corners``)
+accept ``--trace FILE``: observability (:mod:`repro.obs`) is switched
+on for the run and a Chrome trace-event JSON — spans plus the full
+metrics snapshot — is written to FILE on exit (load it in Perfetto or
+``chrome://tracing``, or render the counters with ``ia-rank stats``).
 
 Multi-point commands (``sweep``, ``corners``, ``optimize``) run through
 the fault-tolerant harness (:mod:`repro.runner`) and accept
@@ -123,6 +130,18 @@ def _add_design_args(parser: argparse.ArgumentParser) -> None:
         default="dp",
         choices=("dp", "greedy"),
         help="rank solver (reference/exhaustive are test-only)",
+    )
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags for compute commands."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="enable metrics + tracing and write a Chrome trace-event "
+        "JSON (Perfetto-loadable) with the metrics snapshot to FILE",
     )
 
 
@@ -422,6 +441,37 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.render import format_metrics
+    from .obs.trace import validate_trace
+
+    try:
+        with open(args.file) as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"{args.file}: cannot read: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"{args.file}: invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        raise ReproError(
+            f"{args.file}: no 'metrics' section; expected a --trace file "
+            "or a BENCH_rank.json produced with observability enabled"
+        )
+    if "traceEvents" in payload:
+        problems = validate_trace(payload)
+        if problems:
+            for problem in problems:
+                print(f"warning: {problem}", file=sys.stderr)
+        print(
+            f"{args.file}: {len(payload['traceEvents'])} trace events"
+        )
+        print()
+    print(format_metrics(payload["metrics"]))
+    return EXIT_OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -435,12 +485,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rank = sub.add_parser("rank", help="compute the rank of one configuration")
     _add_design_args(p_rank)
+    _add_obs_args(p_rank)
     p_rank.set_defaults(func=_cmd_rank)
 
     p_sweep = sub.add_parser("sweep", help="regenerate one Table 4 column")
     p_sweep.add_argument("knob", choices=sorted(_SWEEPS), help="knob to sweep")
     _add_design_args(p_sweep)
     _add_runner_args(p_sweep)
+    _add_obs_args(p_sweep)
     p_sweep.add_argument("--csv", action="store_true", help="emit CSV instead")
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -472,6 +524,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--max-layers", type=int, default=12)
     p_opt.add_argument("--exhaustive-limit", type=int, default=128)
     _add_runner_args(p_opt)
+    _add_obs_args(p_opt)
     p_opt.set_defaults(func=_cmd_optimize)
 
     p_curve = sub.add_parser(
@@ -495,7 +548,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_design_args(p_corners)
     _add_runner_args(p_corners)
+    _add_obs_args(p_corners)
     p_corners.set_defaults(func=_cmd_corners)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="render the metrics section of a --trace or BENCH file",
+    )
+    p_stats.add_argument(
+        "file", help="trace JSON (from --trace) or BENCH_rank.json"
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     return parser
 
@@ -513,6 +576,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # argparse exits 2 on usage errors and 0 for --help; surface
         # the code as a return value so embedders never see SystemExit.
         return int(exc.code or 0)
+    trace_path = getattr(args, "trace", "")
+    if trace_path:
+        from . import obs
+
+        obs.enable(trace_events=True)
     try:
         return args.func(args)
     except ReproError as exc:
@@ -525,6 +593,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return EXIT_OK
+    finally:
+        if trace_path:
+            from . import obs
+            from .obs.trace import write_trace
+
+            # Written even when the command failed: a partial trace is
+            # exactly what you want when debugging a failed run.
+            count = write_trace(trace_path)
+            obs.disable()
+            print(
+                f"trace: wrote {count} events to {trace_path} "
+                "(load in Perfetto / chrome://tracing, or run "
+                f"'ia-rank stats {trace_path}')",
+                file=sys.stderr,
+            )
 
 
 if __name__ == "__main__":

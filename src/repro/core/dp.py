@@ -37,6 +37,10 @@ import numpy as np
 from ..assign.greedy_assign import pack_required_leftover, pack_suffix
 from ..assign.tables import AssignmentTables
 from ..errors import DeadlineExceeded, RankComputationError
+from ..obs.metrics import inc as _obs_inc
+from ..obs.metrics import metrics_enabled as _metrics_enabled
+from ..obs.metrics import observe as _obs_observe
+from ..obs.trace import span as _span
 from .discretize import DEFAULT_REPEATER_UNITS, discretize_repeaters
 
 
@@ -49,6 +53,7 @@ def check_deadline(deadline: Optional[float], where: str = "solver") -> None:
     so a per-attempt wall-clock budget can interrupt a computation
     without killing the process.
     """
+    _obs_inc("solver.deadline_checks")
     if deadline is not None and time.monotonic() > deadline:
         raise DeadlineExceeded(
             f"wall-clock deadline exceeded in {where} "
@@ -95,7 +100,35 @@ class SolverStats:
     pack_checks: int = 0
     pack_successes: int = 0
     pack_pruned: int = 0
+    rows: int = 0
     runtime_seconds: float = field(default=0.0, compare=False)
+
+
+#: SolverStats counters folded into the metrics registry after a DP
+#: solve (under ``solver.dp.*``) — the single source of truth for both
+#: ``BENCH_rank.json`` and trace-file counter totals.
+_DP_PUBLISHED_COUNTERS = (
+    "rows",
+    "states_explored",
+    "transitions",
+    "pack_checks",
+    "pack_successes",
+    "pack_pruned",
+)
+
+
+def _publish_dp_stats(stats: "SolverStats") -> None:
+    """Fold one solve's counters into the registry (no-op when disabled).
+
+    Publishing once per solve — not per row — keeps the DP inner loop
+    free of registry calls, so the disabled-overhead budget holds.
+    """
+    if not _metrics_enabled():
+        return
+    _obs_inc("solver.dp.solves")
+    for name in _DP_PUBLISHED_COUNTERS:
+        _obs_inc(f"solver.dp.{name}", getattr(stats, name))
+    _obs_observe("solver.dp.solve_s", stats.runtime_seconds)
 
 
 @dataclass(frozen=True)
@@ -149,6 +182,26 @@ def solve_rank_dp(
     -------
     RawSolution
     """
+    with _span(
+        "solve_rank_dp",
+        groups=tables.num_groups,
+        pairs=tables.num_pairs,
+        units=repeater_units,
+    ):
+        return _solve_rank_dp_impl(
+            tables,
+            repeater_units=repeater_units,
+            collect_witness=collect_witness,
+            deadline=deadline,
+        )
+
+
+def _solve_rank_dp_impl(
+    tables: AssignmentTables,
+    repeater_units: int,
+    collect_witness: bool,
+    deadline: Optional[float],
+) -> RawSolution:
     start_time = time.perf_counter()
     stats = SolverStats(solver="dp")
 
@@ -162,6 +215,7 @@ def solve_rank_dp(
     fits = pack_suffix(tables, 0, 0, 0, 0.0)
     if not fits:
         stats.runtime_seconds = time.perf_counter() - start_time
+        _publish_dp_stats(stats)
         return RawSolution(rank=0, fits=False, stats=stats)
 
     best_rank = 0
@@ -199,6 +253,7 @@ def solve_rank_dp(
         pack_failed_once: set = set()
 
         for b in range(num_groups + 1):
+            stats.rows += 1
             check_deadline(deadline, where=f"dp pair {pair}, group {b}")
             row = f_prev[b]
             finite = np.isfinite(row)
@@ -316,6 +371,7 @@ def solve_rank_dp(
         )
 
     stats.runtime_seconds = time.perf_counter() - start_time
+    _publish_dp_stats(stats)
     return RawSolution(rank=best_rank, fits=True, stats=stats, witness=witness)
 
 

@@ -34,6 +34,8 @@ import pickle
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from ..obs.metrics import inc as _obs_inc
+
 #: Default number of cached entries (coarse WLDs + tables combined).
 DEFAULT_CACHE_ENTRIES = 32
 
@@ -78,6 +80,7 @@ class PrecomputeCache:
         self._store: "OrderedDict[tuple, object]" = OrderedDict()
         self._hits: Dict[str, int] = {"coarsened": 0, "tables": 0}
         self._misses: Dict[str, int] = {"coarsened": 0, "tables": 0}
+        self._evictions = 0
 
     # ------------------------------------------------------------------
     # Cached stages
@@ -148,16 +151,18 @@ class PrecomputeCache:
     # ------------------------------------------------------------------
 
     def stats(self) -> Dict[str, Dict[str, int]]:
-        """Per-stage hit/miss counters plus current entry count."""
+        """Per-stage hit/miss counters, evictions, and entry count."""
         return {
             "hits": dict(self._hits),
             "misses": dict(self._misses),
+            "evictions": self._evictions,
             "entries": {"current": len(self._store), "max": self.max_entries},
         }
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         self._store.clear()
+        self._evictions = 0
         for counters in (self._hits, self._misses):
             for stage in counters:
                 counters[stage] = 0
@@ -171,8 +176,10 @@ class PrecomputeCache:
         if entry is not None:
             self._store.move_to_end(key)
             self._hits[stage] += 1
+            _obs_inc(f"precompute.{stage}.hits")
             return entry
         self._misses[stage] += 1
+        _obs_inc(f"precompute.{stage}.misses")
         return None
 
     def _put(self, key: tuple, entry: object) -> None:
@@ -182,3 +189,5 @@ class PrecomputeCache:
         self._store.move_to_end(key)
         while len(self._store) > self.max_entries:
             self._store.popitem(last=False)
+            self._evictions += 1
+            _obs_inc("precompute.evictions")

@@ -18,6 +18,8 @@ from typing import Optional
 
 from ..arch.builder import ArchitectureSpec, build_architecture
 from ..arch.die import DieModel
+from ..obs.metrics import inc as _obs_inc
+from ..obs.metrics import metrics_enabled as _metrics_enabled
 from ..tech.presets import get_node
 from ..wld.davis import DavisParameters, davis_wld
 from ..wld.distribution import WireLengthDistribution
@@ -67,6 +69,23 @@ def configure_davis_cache(maxsize: Optional[int]) -> None:
     _cached_davis = _make_davis_cache(maxsize)
 
 
+def _davis_lookup(gate_count: int, rent_exponent: float) -> WireLengthDistribution:
+    """Cache-aware Davis lookup that also feeds the metrics registry.
+
+    The lru_cache keeps cumulative counters; the per-call delta is what
+    lands in ``davis_cache.hits`` / ``davis_cache.misses``, so registry
+    totals reflect exactly the lookups made while observability was on.
+    """
+    if not _metrics_enabled():
+        return _cached_davis(gate_count, rent_exponent)
+    before = _cached_davis.cache_info()
+    wld = _cached_davis(gate_count, rent_exponent)
+    after = _cached_davis.cache_info()
+    _obs_inc("davis_cache.hits", after.hits - before.hits)
+    _obs_inc("davis_cache.misses", after.misses - before.misses)
+    return wld
+
+
 def davis_cache_info():
     """Hit/miss/size counters of the Davis-WLD cache.
 
@@ -110,7 +129,7 @@ def baseline_problem(
         node=node, gate_count=gate_count, repeater_fraction=repeater_fraction
     )
     if wld is None:
-        wld = _cached_davis(gate_count, rent_exponent)
+        wld = _davis_lookup(gate_count, rent_exponent)
     return RankProblem(
         arch=arch,
         die=die,

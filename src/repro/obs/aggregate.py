@@ -1,0 +1,110 @@
+"""Cross-process metric and span aggregation for parallel batches.
+
+A ``run_batch(..., jobs=N)`` worker cannot publish into the parent's
+registry, so the contract is delta shipping: each worker *resets* its
+process-local observability state before a point, evaluates it, and
+attaches the resulting snapshot (metrics + trace events + start/end
+stamps) to the :class:`~repro.runner.executor.PointOutcome` it returns.
+The parent merges every payload as outcomes arrive.  Because each
+worker drives points serially, reset-then-snapshot yields exactly the
+per-point delta, and because counter/timer merging is associative and
+commutative, a parallel run reports the same deterministic counter
+totals as a sequential one — the parity that
+``tests/obs/test_parity.py`` pins down.
+
+(The exception is cache-warm accounting: every worker owns a pickled
+copy of the :class:`~repro.core.precompute.PrecomputeCache`, so
+``precompute.*`` / ``davis_cache.*`` hit/miss splits legitimately
+depend on how points land on workers.  Comparisons must exclude those —
+see :data:`NONDETERMINISTIC_PREFIXES`.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from . import metrics as _metrics
+from . import trace as _trace
+
+#: Metric-name prefixes whose totals legitimately differ between a
+#: sequential and a parallel run: per-worker cache copies shift the
+#: hit/miss split, and the parallel.* family only exists with jobs > 1.
+NONDETERMINISTIC_PREFIXES = ("precompute.", "davis_cache.", "parallel.")
+
+
+def obs_flags() -> tuple:
+    """The (metrics, tracing) enable pair, for worker initializers."""
+    return (_metrics.metrics_enabled(), _trace.tracing_enabled())
+
+
+def obs_enabled() -> bool:
+    """Whether any observability (metrics or tracing) is on."""
+    return _metrics.metrics_enabled() or _trace.tracing_enabled()
+
+
+def apply_obs_flags(flags) -> None:
+    """Install an :func:`obs_flags` pair inside a worker process."""
+    metrics_on, trace_on = flags
+    _metrics._set_enabled(bool(metrics_on))
+    _trace._set_enabled(bool(trace_on))
+
+
+def begin_point() -> float:
+    """Reset worker-local observability state; returns the start stamp."""
+    _metrics.reset()
+    _trace.clear_events()
+    return time.monotonic()
+
+
+def end_point(started: float) -> dict:
+    """Snapshot everything the point produced, for shipment to the parent."""
+    return {
+        "metrics": _metrics.snapshot(),
+        "events": _trace.events(),
+        "started": started,
+        "ended": time.monotonic(),
+    }
+
+
+def merge_point(payload: Optional[dict], submitted: Optional[float] = None) -> None:
+    """Fold one worker point's payload into the parent's state.
+
+    ``submitted`` is the parent-side ``time.monotonic()`` stamp of the
+    pool submission; with it, the point's queue wait (submission to
+    worker pickup) lands in the ``parallel.queue_wait_s`` histogram.
+    """
+    if not payload:
+        return
+    _metrics.merge(payload.get("metrics"))
+    events = payload.get("events")
+    if events:
+        _trace.extend_events(events)
+    started = payload.get("started")
+    if submitted is not None and started is not None:
+        _metrics.observe("parallel.queue_wait_s", max(0.0, started - submitted))
+
+
+def busy_seconds(payload: Optional[dict]) -> float:
+    """Worker-side wall seconds one point consumed (0 without a payload)."""
+    if not payload:
+        return 0.0
+    started = payload.get("started")
+    ended = payload.get("ended")
+    if started is None or ended is None:
+        return 0.0
+    return max(0.0, ended - started)
+
+
+def deterministic_counters(snapshot: dict) -> dict:
+    """The counter subset that must agree between jobs=1 and jobs=N.
+
+    Filters a registry snapshot down to counters outside
+    :data:`NONDETERMINISTIC_PREFIXES` — the comparison key for the
+    sequential-vs-parallel parity guarantee.
+    """
+    return {
+        name: value
+        for name, value in snapshot.get("counters", {}).items()
+        if not name.startswith(NONDETERMINISTIC_PREFIXES)
+    }

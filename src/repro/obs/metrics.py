@@ -1,0 +1,225 @@
+"""Metrics registry: counters, gauges, and timing histograms.
+
+The registry is the single sink every instrumented subsystem publishes
+into — the DP solver's :class:`~repro.core.dp.SolverStats`, the
+precompute / Davis-WLD cache hit counters, the runner's attempt and
+checkpoint accounting, and the parallel backend's queue/utilization
+numbers all land here under dotted metric names (``solver.dp.rows``,
+``precompute.coarsened.hits``, ``runner.attempts``, ...).
+
+Design constraints:
+
+* **near-zero overhead when disabled** — every module-level publishing
+  helper (:func:`inc`, :func:`gauge`, :func:`observe`) is a single
+  function call that checks one module-level boolean and returns.  Hot
+  loops additionally accumulate into local counters (``SolverStats``)
+  and publish once per solve, so the disabled cost on the DP inner loop
+  is exactly zero.
+* **mergeable** — :meth:`MetricsRegistry.snapshot` produces a plain
+  JSON-ready dict and :meth:`MetricsRegistry.merge` folds such a
+  snapshot back in (counters add, timer histograms combine, gauges
+  last-write-wins).  This is what lets ``run_batch --jobs N`` workers
+  collect metrics locally and report the same counter totals as a
+  sequential run (see :mod:`repro.obs.aggregate`).
+
+Timing histograms keep count / total / min / max plus power-of-two
+bucket counts (bucket key ``e`` counts observations with
+``value <= 2**e`` seconds and ``> 2**(e-1)``), which merge exactly
+across processes.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Optional
+
+#: Bucket exponent clamp: 2**-20 s (~1 us) .. 2**12 s (~68 min).
+_BUCKET_MIN_EXP = -20
+_BUCKET_MAX_EXP = 12
+
+#: Module-level enable flag; flipped only through repro.obs.enable().
+_ENABLED = False
+
+
+def _bucket_exponent(seconds: float) -> int:
+    """Power-of-two bucket for a timing observation (clamped)."""
+    if seconds <= 0.0:
+        return _BUCKET_MIN_EXP
+    exp = math.ceil(math.log2(seconds))
+    return max(_BUCKET_MIN_EXP, min(_BUCKET_MAX_EXP, exp))
+
+
+class MetricsRegistry:
+    """Thread-safe store of counters, gauges, and timing histograms.
+
+    Operations are low-frequency by design (per point / per solve, not
+    per DP transition), so a single lock is plenty.  The registry is
+    process-local: cross-process aggregation works by snapshotting in
+    the worker and merging in the parent (:mod:`repro.obs.aggregate`).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._timers: Dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one timing observation into histogram ``name``."""
+        seconds = float(seconds)
+        with self._lock:
+            timer = self._timers.get(name)
+            if timer is None:
+                timer = {
+                    "count": 0,
+                    "total_s": 0.0,
+                    "min_s": math.inf,
+                    "max_s": 0.0,
+                    "buckets": {},
+                }
+                self._timers[name] = timer
+            timer["count"] += 1
+            timer["total_s"] += seconds
+            timer["min_s"] = min(timer["min_s"], seconds)
+            timer["max_s"] = max(timer["max_s"], seconds)
+            key = str(_bucket_exponent(seconds))
+            timer["buckets"][key] = timer["buckets"].get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge / reset
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready copy: ``{"counters": ..., "gauges": ..., "timers": ...}``.
+
+        ``min_s`` is emitted as ``None`` for never-observed timers so
+        the payload stays valid JSON (no infinities).
+        """
+        with self._lock:
+            timers = {}
+            for name, timer in self._timers.items():
+                timers[name] = {
+                    "count": timer["count"],
+                    "total_s": timer["total_s"],
+                    "min_s": None if math.isinf(timer["min_s"]) else timer["min_s"],
+                    "max_s": timer["max_s"],
+                    "buckets": dict(timer["buckets"]),
+                }
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "timers": timers,
+            }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` payload into this registry.
+
+        Counters and histogram contents add; gauges take the incoming
+        value.  Merging is associative and commutative over counters
+        and timers, so any worker completion order yields the same
+        totals.
+        """
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, value in snapshot.get("gauges", {}).items():
+                self._gauges[name] = float(value)
+            for name, incoming in snapshot.get("timers", {}).items():
+                timer = self._timers.get(name)
+                if timer is None:
+                    timer = {
+                        "count": 0,
+                        "total_s": 0.0,
+                        "min_s": math.inf,
+                        "max_s": 0.0,
+                        "buckets": {},
+                    }
+                    self._timers[name] = timer
+                timer["count"] += incoming.get("count", 0)
+                timer["total_s"] += incoming.get("total_s", 0.0)
+                incoming_min = incoming.get("min_s")
+                if incoming_min is not None:
+                    timer["min_s"] = min(timer["min_s"], incoming_min)
+                timer["max_s"] = max(timer["max_s"], incoming.get("max_s", 0.0))
+                for key, count in incoming.get("buckets", {}).items():
+                    timer["buckets"][key] = timer["buckets"].get(key, 0) + count
+
+    def reset(self) -> None:
+        """Drop every metric (used per-point in worker processes)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+
+#: The process-global registry every guarded helper publishes into.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry (always live; publishing is gated)."""
+    return _REGISTRY
+
+
+def metrics_enabled() -> bool:
+    """Whether metric publishing is currently on."""
+    return _ENABLED
+
+
+def _set_enabled(on: bool) -> None:
+    global _ENABLED
+    _ENABLED = on
+
+
+def inc(name: str, value: int = 1) -> None:
+    """Guarded counter increment: a no-op while metrics are disabled."""
+    if _ENABLED:
+        _REGISTRY.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Guarded gauge set: a no-op while metrics are disabled."""
+    if _ENABLED:
+        _REGISTRY.gauge(name, value)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Guarded timing observation: a no-op while metrics are disabled."""
+    if _ENABLED:
+        _REGISTRY.observe(name, seconds)
+
+
+def snapshot() -> dict:
+    """Snapshot the global registry (works regardless of the flag)."""
+    return _REGISTRY.snapshot()
+
+
+def merge(payload: Optional[dict]) -> None:
+    """Merge a snapshot into the global registry (``None`` is a no-op)."""
+    if payload:
+        _REGISTRY.merge(payload)
+
+
+def reset() -> None:
+    """Clear the global registry."""
+    _REGISTRY.reset()

@@ -97,6 +97,7 @@ def rank_result_to_dict(result: RankResult) -> dict:
             "pack_checks": result.stats.pack_checks,
             "pack_successes": result.stats.pack_successes,
             "pack_pruned": result.stats.pack_pruned,
+            "rows": result.stats.rows,
             "runtime_seconds": result.stats.runtime_seconds,
         },
     }
@@ -126,6 +127,8 @@ def rank_result_from_dict(payload: dict) -> RankResult:
             pack_successes=stats_data["pack_successes"],
             # absent in pre-memoization files: those ran unpruned
             pack_pruned=stats_data.get("pack_pruned", 0),
+            # absent in pre-observability files
+            rows=stats_data.get("rows", 0),
             runtime_seconds=stats_data["runtime_seconds"],
         )
         witness = None

@@ -35,6 +35,9 @@ from pathlib import Path
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import RunnerError
+from ..obs.metrics import inc as _obs_inc
+from ..obs.metrics import observe as _obs_observe
+from ..obs.trace import span as _span
 from .checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from .journal import (
     STATUS_CACHED,
@@ -115,10 +118,17 @@ class Attempt:
 
 @dataclass(frozen=True)
 class PointOutcome:
-    """Result of driving one point through its attempt budget."""
+    """Result of driving one point through its attempt budget.
+
+    ``obs`` is the worker-side observability payload (metrics snapshot,
+    trace events, start/end stamps) attached by the parallel backend so
+    the parent can merge it; ``None`` for in-process execution, where
+    metrics land in the parent registry directly.
+    """
 
     record: PointRecord
     result: object = None
+    obs: Optional[dict] = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -175,28 +185,33 @@ def execute_point(
     keep-going semantics.
     """
     attempts = []
+    point_started = time.monotonic()
     for index in range(policy.max_attempts):
         attempt = Attempt(
             index=index,
             deadline=policy.deadline(),
             degradation=policy.degradation(index),
         )
+        _obs_inc("runner.attempts")
+        if index:
+            _obs_inc("runner.retries")
         started = time.monotonic()
-        try:
-            result = evaluate(point, attempt)
-        except Exception as exc:
-            attempts.append(
-                AttemptRecord(
-                    index=index,
-                    error_type=type(exc).__name__,
-                    error_message=str(exc),
-                    wall_time_s=time.monotonic() - started,
-                    degradation=attempt.degradation,
+        with _span("point_attempt", point=point.key, attempt=index):
+            try:
+                result = evaluate(point, attempt)
+            except Exception as exc:
+                attempts.append(
+                    AttemptRecord(
+                        index=index,
+                        error_type=type(exc).__name__,
+                        error_message=str(exc),
+                        wall_time_s=time.monotonic() - started,
+                        degradation=attempt.degradation,
+                    )
                 )
-            )
-            if not policy.is_retryable(exc):
-                raise
-            continue
+                if not policy.is_retryable(exc):
+                    raise
+                continue
         attempts.append(
             AttemptRecord(
                 index=index,
@@ -204,6 +219,10 @@ def execute_point(
                 degradation=attempt.degradation,
             )
         )
+        _obs_inc("runner.points_completed")
+        if attempt.degradation:
+            _obs_inc("runner.degraded_points")
+        _obs_observe("runner.point_wall_s", time.monotonic() - point_started)
         return PointOutcome(
             record=PointRecord(
                 key=point.key,
@@ -213,6 +232,8 @@ def execute_point(
             ),
             result=result,
         )
+    _obs_inc("runner.points_failed")
+    _obs_observe("runner.point_wall_s", time.monotonic() - point_started)
     return PointOutcome(
         record=PointRecord(
             key=point.key,
@@ -273,7 +294,9 @@ class _Committer:
             if key not in ordered:
                 ordered[key] = value
         self._checkpoint.points = ordered
-        save_checkpoint(self._checkpoint, self._path)
+        with _span("checkpoint_commit", points=len(ordered)):
+            save_checkpoint(self._checkpoint, self._path)
+        _obs_inc("runner.checkpoint_commits")
         self._stamp = time.monotonic()
 
 
@@ -416,38 +439,39 @@ def run_batch(
     committer.commit()
 
     try:
-        if jobs == 1:
-            _run_sequential(
-                name,
-                points,
-                evaluate,
-                policy,
-                keep_going,
-                checkpoint_path,
-                cached,
-                deserialize,
-                serialize,
-                journal,
-                checkpoint,
-                results,
-                committer,
-            )
-        else:
-            _run_parallel(
-                name,
-                points,
-                payload,
-                jobs,
-                keep_going,
-                checkpoint_path,
-                cached,
-                deserialize,
-                serialize,
-                journal,
-                checkpoint,
-                results,
-                committer,
-            )
+        with _span("run_batch", run=name, points=len(points), jobs=jobs):
+            if jobs == 1:
+                _run_sequential(
+                    name,
+                    points,
+                    evaluate,
+                    policy,
+                    keep_going,
+                    checkpoint_path,
+                    cached,
+                    deserialize,
+                    serialize,
+                    journal,
+                    checkpoint,
+                    results,
+                    committer,
+                )
+            else:
+                _run_parallel(
+                    name,
+                    points,
+                    payload,
+                    jobs,
+                    keep_going,
+                    checkpoint_path,
+                    cached,
+                    deserialize,
+                    serialize,
+                    journal,
+                    checkpoint,
+                    results,
+                    committer,
+                )
     finally:
         # Final write on every exit path: normal return, strict-mode
         # abort, or a propagating evaluator/worker error.
@@ -458,6 +482,7 @@ def run_batch(
 
 
 def _cached_record(point: PointSpec) -> PointRecord:
+    _obs_inc("runner.points_cached")
     return PointRecord(
         key=point.key, value=point.journal_value(), status=STATUS_CACHED
     )

@@ -35,6 +35,11 @@ class AttemptRecord:
         Stringified exception, or ``""`` on success.
     wall_time_s:
         Wall-clock seconds the attempt took (including failed ones).
+        Excluded from equality — like
+        :class:`~repro.core.dp.SolverStats.runtime_seconds`, two runs
+        of the same work produce equal records even though their
+        timings differ, which is what lets a resumed run's journal
+        entries compare equal to an uninterrupted run's.
     degradation:
         Deterministic fallback knobs applied for this attempt
         (e.g. ``{"bunch_scale": 2.0}``); empty on the first attempt.
@@ -43,7 +48,7 @@ class AttemptRecord:
     index: int
     error_type: str = ""
     error_message: str = ""
-    wall_time_s: float = 0.0
+    wall_time_s: float = field(default=0.0, compare=False)
     degradation: Mapping[str, float] = field(default_factory=dict)
 
     @property

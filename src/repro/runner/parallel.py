@@ -27,13 +27,18 @@ fast with an actionable :class:`~repro.errors.RunnerError`.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import pickle
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 from ..errors import RunnerError
+from ..obs import aggregate as _aggregate
+from ..obs.metrics import gauge as _obs_gauge
+from ..obs.metrics import metrics_enabled as _metrics_enabled
 
 #: Per-worker state installed by the pool initializer.
 _worker_state: dict = {}
@@ -72,16 +77,29 @@ def dumps_worker_payload(name: str, evaluate, policy) -> bytes:
         ) from exc
 
 
-def _init_worker(payload: bytes) -> None:
+def _init_worker(
+    payload: bytes, obs_flags: Tuple[bool, bool] = (False, False)
+) -> None:
     _worker_state["evaluate"], _worker_state["policy"] = pickle.loads(payload)
+    _aggregate.apply_obs_flags(obs_flags)
 
 
 def _worker_execute(point):
     from .executor import execute_point
 
-    return execute_point(
+    if not _aggregate.obs_enabled():
+        return execute_point(
+            point, _worker_state["evaluate"], _worker_state["policy"]
+        )
+    # Per-point delta shipping: reset the worker's registry, evaluate,
+    # snapshot, and attach the delta so the parent can merge it.  Counter
+    # totals then match a sequential run regardless of how points were
+    # spread across workers.
+    started = _aggregate.begin_point()
+    outcome = execute_point(
         point, _worker_state["evaluate"], _worker_state["policy"]
     )
+    return dataclasses.replace(outcome, obs=_aggregate.end_point(started))
 
 
 def execute_points_parallel(
@@ -105,13 +123,20 @@ def execute_points_parallel(
     """
     if not points:
         return
+    workers = min(jobs, len(points))
+    pool_started = time.monotonic()
+    busy = 0.0
     try:
         with ProcessPoolExecutor(
-            max_workers=min(jobs, len(points)),
+            max_workers=workers,
             initializer=_init_worker,
-            initargs=(payload,),
+            initargs=(payload, _aggregate.obs_flags()),
         ) as pool:
             futures = {pool.submit(_worker_execute, p): p for p in points}
+            # Parent-side submission stamps: monotonic clocks are
+            # system-wide on Linux, so (worker start - submission) is a
+            # valid cross-process queue-wait measurement.
+            submitted = {future: time.monotonic() for future in futures}
             try:
                 pending = set(futures)
                 failed = False
@@ -121,6 +146,13 @@ def execute_points_parallel(
                         if future.cancelled():
                             continue
                         outcome = future.result()
+                        _aggregate.merge_point(
+                            getattr(outcome, "obs", None),
+                            submitted=submitted.get(future),
+                        )
+                        busy += _aggregate.busy_seconds(
+                            getattr(outcome, "obs", None)
+                        )
                         on_outcome(futures[future], outcome)
                         if stop_on_failure and not outcome.ok and not failed:
                             failed = True
@@ -129,6 +161,11 @@ def execute_points_parallel(
             finally:
                 for future in futures:
                     future.cancel()
+        if _metrics_enabled():
+            wall = max(1e-9, time.monotonic() - pool_started)
+            _obs_gauge(
+                "parallel.worker_utilization", busy / (workers * wall)
+            )
     except BrokenProcessPool as exc:
         raise RunnerError(
             f"run {name!r}: a worker process died unexpectedly "

@@ -7,7 +7,35 @@ suite stays fast while still exercising the full pipeline.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+try:
+    from hypothesis import settings as _hyp_settings
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an optional extra
+    HAVE_HYPOTHESIS = False
+
+if HAVE_HYPOTHESIS:
+    # Two profiles: "dev" keeps property tests fast and randomized for
+    # local exploration; "ci" (loaded when CI=1) is derandomized — the
+    # example sequence is derived from each test's code, so CI runs are
+    # reproducible — and digs deeper with more examples.  print_blob
+    # makes any failure print its @reproduce_failure blob, the exact
+    # recipe to replay the failing example locally.
+    _hyp_settings.register_profile(
+        "dev", max_examples=25, deadline=None, print_blob=True
+    )
+    _hyp_settings.register_profile(
+        "ci",
+        max_examples=200,
+        deadline=None,
+        derandomize=True,
+        print_blob=True,
+    )
+    _hyp_settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 from repro import (
     ArchitectureSpec,

@@ -1,0 +1,19 @@
+"""Observability tests always leave the subsystem off and empty.
+
+The enable flags and the registry are process-global, so a test that
+forgot to disable would leak instrumentation cost (and collected
+numbers) into every later test.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -131,3 +131,51 @@ class TestRoundTrip:
             degradation={"bunch_scale": 4.0},
         )
         assert AttemptRecord.from_dict(attempt.to_dict()) == attempt
+
+
+class TestWallTimeSemantics:
+    def test_wall_time_excluded_from_equality(self):
+        """Timings differ run to run; journal equality must not.  This
+        is what lets a resumed run's journal entries compare equal to
+        an uninterrupted run's (same contract as
+        ``SolverStats.runtime_seconds``)."""
+        fast = AttemptRecord(index=0, wall_time_s=0.01)
+        slow = AttemptRecord(index=0, wall_time_s=9.99)
+        assert fast == slow
+        assert PointRecord(
+            key="p", value=1.0, status=STATUS_COMPLETED, attempts=(fast,)
+        ) == PointRecord(
+            key="p", value=1.0, status=STATUS_COMPLETED, attempts=(slow,)
+        )
+
+    def test_wall_time_still_serialized_and_summed(self):
+        """Excluded from equality, but present in the JSON payload and
+        in the journal's total — the audit data survives."""
+        attempt = AttemptRecord(index=0, wall_time_s=1.25)
+        assert attempt.to_dict()["wall_time_s"] == 1.25
+        journal = RunJournal("demo")
+        journal.add(
+            PointRecord(
+                key="p", value=1.0, status=STATUS_COMPLETED, attempts=(attempt,)
+            )
+        )
+        assert journal.total_wall_time_s == 1.25
+
+    def test_executor_populates_wall_time(self):
+        """Every attempt the executor journals carries a positive
+        wall time, including failed ones."""
+        from repro.runner import RetryPolicy, run_batch
+
+        from .test_executor import make_evaluate, specs
+
+        outcome = run_batch(
+            "demo",
+            specs(2),
+            make_evaluate(fail_first_attempts=1),
+            policy=RetryPolicy(max_attempts=2),
+        )
+        attempts = [
+            a for r in outcome.journal.records for a in r.attempts
+        ]
+        assert len(attempts) == 4  # 2 points x (1 failure + 1 success)
+        assert all(a.wall_time_s > 0 for a in attempts)

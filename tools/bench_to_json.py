@@ -34,7 +34,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 #: Schema version of the emitted file.
 BENCH_FORMAT = "repro.bench"
-BENCH_VERSION = 1
+#: v2 added the ``metrics`` section (registry snapshot of the run).
+BENCH_VERSION = 2
 
 
 def _timed(fn):
@@ -60,6 +61,7 @@ def _journal_statuses(sweep) -> list:
 
 
 def run_bench(args) -> dict:
+    import repro.obs as obs
     from repro.core.dp import solve_rank_dp
     from repro.core.precompute import PrecomputeCache
     from repro.core.scenarios import (
@@ -71,6 +73,12 @@ def run_bench(args) -> dict:
     from repro.wld.davis import DavisParameters, davis_wld
 
     bunch = args.bunch or None
+
+    # Metrics on for the whole bench; trace events only when requested
+    # (event buffering is the costlier half).  --no-metrics keeps the
+    # subsystem fully off, for measuring its disabled-path overhead.
+    if not args.no_metrics:
+        obs.enable(trace_events=bool(args.trace))
 
     # --- Stage timings (one cold pass through the pipeline) ----------
     wld, davis_s = _timed(
@@ -178,7 +186,17 @@ def run_bench(args) -> dict:
             "parallel_parent": cache_par.stats(),
         },
         "davis_cache": davis_cache_info()._asdict(),
+        # Full registry snapshot: counters, timing histograms, gauges
+        # accumulated across the stage pass and both sweeps (parallel
+        # worker deltas included via the runner's merge path).
+        "metrics": obs.snapshot(),
     }
+    if args.trace:
+        from repro.obs.trace import write_trace
+
+        count = write_trace(args.trace)
+        print(f"trace: wrote {count} events to {args.trace}", file=sys.stderr)
+    obs.disable()
     return report
 
 
@@ -203,6 +221,19 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=4, help="parallel workers (0 = one per CPU)"
     )
     parser.add_argument("--out", default="BENCH_rank.json", help="output path")
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="also record tracing spans and write a Chrome trace-event "
+        "JSON (Perfetto-loadable) to FILE",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="leave observability fully disabled (measures the "
+        "instrumentation's disabled-path overhead; empties 'metrics')",
+    )
     args = parser.parse_args(argv)
 
     report = run_bench(args)
