@@ -28,14 +28,12 @@ from .arch import (
 from .core import (
     RankProblem,
     RankResult,
-    baseline_problem,
-    compute_rank,
-    paper_baseline_130nm,
     solve_rank_dp,
     solve_rank_exhaustive,
     solve_rank_greedy,
     solve_rank_reference,
 )
+from .core.scenarios import baseline_problem, paper_baseline_130nm
 from . import obs
 from .optimize import DesignSpace, optimize_architecture
 from .power import PowerModel, witness_power
@@ -78,6 +76,14 @@ from .wld import (
     davis_wld,
 )
 
+# The stable facade.  ``api.optimize`` is NOT re-exported at top level:
+# that name belongs to the ``repro.optimize`` subpackage, and shadowing
+# it would break ``import repro.optimize.search``-style imports.  Use
+# ``repro.api.optimize`` (or the long-standing ``optimize_architecture``
+# alias above).
+from . import api
+from .api import bench, compute_rank, corners, load_node, sweep
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -98,6 +104,13 @@ __all__ = [
     "solve_rank_greedy",
     "solve_rank_reference",
     "solve_rank_exhaustive",
+    # stable facade (repro.api); api.optimize stays namespaced to avoid
+    # shadowing the repro.optimize subpackage
+    "api",
+    "sweep",
+    "corners",
+    "load_node",
+    "bench",
     # technology
     "TechnologyNode",
     "MetalRule",

@@ -169,6 +169,7 @@ class _CornerEvaluate:
     bunch_size: Optional[int]
     repeater_units: int
     cache: Optional["PrecomputeCache"] = None
+    backend: Optional[str] = None
 
     def __call__(self, point, attempt) -> RankResult:
         from ..runner.policy import scaled_bunch_size
@@ -182,6 +183,7 @@ class _CornerEvaluate:
             repeater_units=self.repeater_units,
             deadline=attempt.deadline,
             cache=self.cache,
+            backend=self.backend,
         )
 
 
@@ -198,6 +200,7 @@ def rank_across_corners(
     checkpoint_every: int = 1,
     checkpoint_interval_s: Optional[float] = None,
     cache: Optional["PrecomputeCache"] = None,
+    backend: Optional[str] = None,
 ) -> CornerReport:
     """Evaluate the rank at every corner through the fault-tolerant harness.
 
@@ -237,6 +240,7 @@ def rank_across_corners(
         bunch_size=bunch_size,
         repeater_units=repeater_units,
         cache=cache,
+        backend=backend,
     )
 
     outcome = run_batch(

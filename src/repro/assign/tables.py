@@ -23,10 +23,14 @@ import numpy as np
 
 from ..arch.die import DieModel
 from ..arch.stack import InterconnectArchitecture
-from ..constants import SWITCHING_A, SWITCHING_B
-from ..delay.repeater import min_stages_for_target_batch, optimal_repeater_size
+from ..delay.ottenbrayton import wire_delay_batch
+from ..delay.repeater import (
+    min_stages_for_target_batch,
+    optimal_repeater_size_batch,
+)
 from ..delay.target import TargetDelayModel
 from ..errors import RankComputationError
+from ..rc.models import stack_rc_arrays
 from ..rc.via import DEFAULT_VIAS_PER_WIRE
 from ..wld.distribution import WireLengthDistribution
 
@@ -218,9 +222,8 @@ def build_tables(
 
     via_area = np.array([pair.via.blocked_area for pair in arch], dtype=float)
     pair_pitch = np.array([pair.wire_pitch for pair in arch], dtype=float)
-    repeater_size = np.array(
-        [optimal_repeater_size(pair.rc, device) for pair in arch], dtype=float
-    )
+    rc_arrays = stack_rc_arrays(pair.rc for pair in arch)
+    repeater_size = optimal_repeater_size_batch(rc_arrays, device)
     repeater_unit_area = np.array(
         [device.repeater_area(size) for size in repeater_size], dtype=float
     )
@@ -234,22 +237,13 @@ def build_tables(
     cum_inserted = np.empty((num_pairs, num_groups + 1), dtype=float)
     next_infeasible = np.empty((num_pairs, num_groups + 1), dtype=np.int64)
 
-    switching_a = SWITCHING_A
-    switching_b = SWITCHING_B
     for p, pair in enumerate(arch):
         wire_area[p] = lengths_m * pair_pitch[p] * counts
         if driver_policy == "free-bare":
             # Free pass: the bare minimum-size driver (size 1, one
             # stage) meets the target without touching the budget.
-            bare_delay = (
-                switching_b * device.intrinsic_delay
-                + switching_b
-                * (
-                    pair.rc.capacitance * device.output_resistance
-                    + pair.rc.resistance * device.input_capacitance
-                )
-                * lengths_m
-                + switching_a * pair.rc.rc_product * lengths_m ** 2
+            bare_delay = wire_delay_batch(
+                pair.rc, device, 1.0, 1, lengths_m
             )
             bare_pass = bare_delay <= targets
         else:
@@ -274,13 +268,13 @@ def build_tables(
         ins_terms = np.where(feasible, counts * inserted[p], np.inf)
         cum_rep_area[p] = np.concatenate(([0.0], np.cumsum(rep_terms)))
         cum_inserted[p] = np.concatenate(([0.0], np.cumsum(ins_terms)))
-        # next_infeasible by backward scan.
-        nxt = num_groups
+        # next_infeasible: suffix-minimum of infeasible indices — the
+        # reversed cummin replaces the old backward Python scan.
+        blocked_at = np.where(feasible, num_groups, np.arange(num_groups))
+        next_infeasible[p][:num_groups] = np.minimum.accumulate(
+            blocked_at[::-1]
+        )[::-1]
         next_infeasible[p][num_groups] = num_groups
-        for g in range(num_groups - 1, -1, -1):
-            if not feasible[g]:
-                nxt = g
-            next_infeasible[p][g] = nxt
 
     return AssignmentTables(
         arch=arch,

@@ -16,6 +16,12 @@ Installed as ``ia-rank`` (see pyproject) and runnable as
 Any design-taking command accepts ``--node-file my_node.json`` to run
 on a custom JSON-described process.
 
+Flag names mirror the :mod:`repro.api` facade keywords:
+``--bunch-size``, ``--repeater-units``, ``--clock-frequency``,
+``--miller-factor``, ``--backend``.  The pre-facade spellings
+(``--bunch``, ``--units``, ``--clock``, ``--miller``) keep working as
+hidden aliases; see docs/usage.md for the full mapping.
+
 Compute commands (``rank``, ``sweep``, ``optimize``, ``corners``)
 accept ``--trace FILE``: observability (:mod:`repro.obs`) is switched
 on for the run and a Chrome trace-event JSON — spans plus the full
@@ -45,7 +51,8 @@ Exit codes (stable contract, asserted by ``tests/test_cli.py``):
 
 Examples::
 
-    ia-rank rank --node 130nm --gates 1000000 --bunch 10000
+    ia-rank rank --node 130nm --gates 1000000 --bunch-size 10000
+    ia-rank rank --backend python   # scalar reference kernels
     ia-rank sweep K --gates 1000000
     ia-rank sweep K --keep-going --checkpoint k.ckpt.json
     ia-rank sweep K --resume k.ckpt.json
@@ -67,7 +74,7 @@ from .analysis.sweep import (
     sweep_permittivity,
     sweep_repeater_fraction,
 )
-from .core.rank import compute_rank
+from .api import compute_rank
 from .core.scenarios import baseline_problem
 from .errors import ReproError
 from .optimize import DesignSpace, optimize_architecture
@@ -94,6 +101,22 @@ _SWEEPS = {
 }
 
 
+def _hidden_alias(
+    parser: argparse.ArgumentParser, flag: str, dest: str, type_
+) -> None:
+    """Register a legacy flag spelling that feeds the canonical dest.
+
+    The alias is absent from ``--help`` and contributes no default
+    (``argparse.SUPPRESS``), so it only takes effect when the user
+    actually types it; given both spellings, the later one wins,
+    argparse's normal behaviour for a shared dest.
+    """
+    parser.add_argument(
+        flag, dest=dest, type=type_, default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+
+
 def _add_design_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--node", default="130nm", help="technology node name")
     parser.add_argument(
@@ -105,7 +128,7 @@ def _add_design_args(parser: argparse.ArgumentParser) -> None:
         "--gates", type=int, default=1_000_000, help="design size in gates"
     )
     parser.add_argument(
-        "--clock", type=float, default=500e6, help="target clock in Hz"
+        "--clock-frequency", type=float, default=500e6, help="target clock in Hz"
     )
     parser.add_argument(
         "--repeater-fraction",
@@ -117,13 +140,16 @@ def _add_design_args(parser: argparse.ArgumentParser) -> None:
         "--permittivity", type=float, default=3.9, help="ILD relative permittivity"
     )
     parser.add_argument(
-        "--miller", type=float, default=2.0, help="Miller coupling factor"
+        "--miller-factor", type=float, default=2.0, help="Miller coupling factor"
     )
     parser.add_argument(
-        "--bunch", type=int, default=10_000, help="bunch size (0 disables bunching)"
+        "--bunch-size",
+        type=int,
+        default=10_000,
+        help="bunch size (0 disables bunching)",
     )
     parser.add_argument(
-        "--units", type=int, default=512, help="repeater budget cells"
+        "--repeater-units", type=int, default=512, help="repeater budget cells"
     )
     parser.add_argument(
         "--solver",
@@ -131,6 +157,18 @@ def _add_design_args(parser: argparse.ArgumentParser) -> None:
         choices=("dp", "greedy"),
         help="rank solver (reference/exhaustive are test-only)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("numpy", "python"),
+        help="DP transition kernels: vectorized numpy (default) or the "
+        "scalar python reference; results are identical",
+    )
+    # Pre-facade spellings, kept as hidden aliases.
+    _hidden_alias(parser, "--clock", "clock_frequency", float)
+    _hidden_alias(parser, "--miller", "miller_factor", float)
+    _hidden_alias(parser, "--bunch", "bunch_size", int)
+    _hidden_alias(parser, "--units", "repeater_units", int)
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -238,7 +276,7 @@ def _problem_from_args(args: argparse.Namespace):
             ArchitectureSpec(
                 node=node,
                 permittivity=args.permittivity,
-                miller_factor=args.miller,
+                miller_factor=args.miller_factor,
             )
         )
         die = DieModel(
@@ -248,15 +286,15 @@ def _problem_from_args(args: argparse.Namespace):
         )
         wld = davis_wld(DavisParameters(gate_count=args.gates))
         return RankProblem(
-            arch=arch, die=die, wld=wld, clock_frequency=args.clock
+            arch=arch, die=die, wld=wld, clock_frequency=args.clock_frequency
         )
     return baseline_problem(
         args.node,
         args.gates,
-        clock_frequency=args.clock,
+        clock_frequency=args.clock_frequency,
         repeater_fraction=args.repeater_fraction,
         permittivity=args.permittivity,
-        miller_factor=args.miller,
+        miller_factor=args.miller_factor,
     )
 
 
@@ -265,8 +303,9 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     result = compute_rank(
         problem,
         solver=args.solver,
-        bunch_size=args.bunch or None,
-        repeater_units=args.units,
+        bunch_size=args.bunch_size or None,
+        repeater_units=args.repeater_units,
+        backend=args.backend,
     )
     print(result.summary())
     return 0
@@ -278,8 +317,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = sweep_fn(
         problem,
         solver=args.solver,
-        bunch_size=args.bunch or None,
-        repeater_units=args.units,
+        bunch_size=args.bunch_size or None,
+        repeater_units=args.repeater_units,
+        backend=args.backend,
         **_runner_kwargs(args),
     )
     if args.csv:
@@ -303,7 +343,7 @@ def _cmd_wld(args: argparse.Namespace) -> int:
 
 def _cmd_nodes(args: argparse.Namespace) -> int:
     baselines = compare_nodes(
-        bunch_size=args.bunch or None, repeater_units=args.units
+        bunch_size=args.bunch_size or None, repeater_units=args.repeater_units
     )
     print(format_node_table(baselines))
     return 0
@@ -324,8 +364,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         problem,
         space,
         exhaustive_limit=args.exhaustive_limit,
-        bunch_size=args.bunch or None,
-        repeater_units=args.units,
+        bunch_size=args.bunch_size or None,
+        repeater_units=args.repeater_units,
+        backend=args.backend,
         **_runner_kwargs(args),
     )
     rows = [
@@ -353,8 +394,9 @@ def _cmd_corners(args: argparse.Namespace) -> int:
     report = rank_across_corners(
         problem,
         STANDARD_CORNERS,
-        bunch_size=args.bunch or None,
-        repeater_units=args.units,
+        bunch_size=args.bunch_size or None,
+        repeater_units=args.repeater_units,
+        backend=args.backend,
         **_runner_kwargs(args),
     )
     rows = [
@@ -393,11 +435,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     result = compute_rank(
         problem,
         solver="dp",
-        bunch_size=args.bunch or None,
-        repeater_units=args.units,
+        bunch_size=args.bunch_size or None,
+        repeater_units=args.repeater_units,
         collect_witness=True,
+        backend=args.backend,
     )
-    tables, _ = problem.tables(bunch_size=args.bunch or None)
+    tables, _ = problem.tables(bunch_size=args.bunch_size or None)
     print(result.summary())
     print()
     print(format_assignment_report(tables, result))
@@ -417,8 +460,8 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     from .core.curve import solve_budget_rank_curve
 
     problem = _problem_from_args(args)
-    tables, _ = problem.tables(bunch_size=args.bunch or None)
-    curve = solve_budget_rank_curve(tables, repeater_units=args.units)
+    tables, _ = problem.tables(bunch_size=args.bunch_size or None)
+    curve = solve_budget_rank_curve(tables, repeater_units=args.repeater_units)
     total = tables.total_wires
     step = max(1, curve.num_units // args.points) if curve.num_units else 1
     rows = []
@@ -503,8 +546,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_wld.set_defaults(func=_cmd_wld)
 
     p_nodes = sub.add_parser("nodes", help="baseline comparison across nodes")
-    p_nodes.add_argument("--bunch", type=int, default=10_000)
-    p_nodes.add_argument("--units", type=int, default=512)
+    p_nodes.add_argument("--bunch-size", type=int, default=10_000)
+    p_nodes.add_argument("--repeater-units", type=int, default=512)
+    _hidden_alias(p_nodes, "--bunch", "bunch_size", int)
+    _hidden_alias(p_nodes, "--units", "repeater_units", int)
     p_nodes.set_defaults(func=_cmd_nodes)
 
     p_opt = sub.add_parser(

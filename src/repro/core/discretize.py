@@ -76,10 +76,21 @@ class RepeaterDiscretization:
 
     def slice_units_batch(self, pair: int, start: int, ends: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`slice_units` over many slice ends."""
+        return self.slice_units_spans(pair, start, ends)
+
+    def slice_units_spans(self, pair: int, starts, ends) -> np.ndarray:
+        """Vectorized :meth:`slice_units` over arbitrary (start, end) spans.
+
+        ``starts`` and ``ends`` broadcast against each other; this is the
+        form the whole-pair NumPy transition kernel needs (one start per
+        DP state, many ends per start, all flattened into one call).
+        Arithmetic is kept identical to :meth:`slice_units` so the two
+        backends charge bit-identical cell costs.
+        """
         with np.errstate(invalid="ignore"):
             # inf - inf -> nan when both cumulative ends are poisoned;
             # treated as infeasible below.
-            areas = self.cum_rep_area[pair][ends] - self.cum_rep_area[pair][start]
+            areas = self.cum_rep_area[pair][ends] - self.cum_rep_area[pair][starts]
             if math.isinf(self.unit_area):
                 units = np.where(areas > 0.0, np.inf, 0.0)
             else:

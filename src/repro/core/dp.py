@@ -28,6 +28,7 @@ faithful wire-at-a-time reference and with exhaustive search).
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -42,6 +43,31 @@ from ..obs.metrics import metrics_enabled as _metrics_enabled
 from ..obs.metrics import observe as _obs_observe
 from ..obs.trace import span as _span
 from .discretize import DEFAULT_REPEATER_UNITS, discretize_repeaters
+
+
+#: Registered DP transition-kernel backends.
+BACKENDS = ("python", "numpy")
+
+#: Environment variable selecting the default backend (overridden by an
+#: explicit ``backend=`` argument; unset/empty means ``"numpy"``).
+BACKEND_ENV = "REPRO_RANK_BACKEND"
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve the effective DP backend name.
+
+    ``None`` (the default everywhere) defers to the ``REPRO_RANK_BACKEND``
+    environment variable and finally to ``"numpy"`` — which is how CI
+    runs the whole tier-1 suite against the scalar reference backend
+    without threading a parameter through every call site.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV, "") or "numpy"
+    if backend not in BACKENDS:
+        raise RankComputationError(
+            f"unknown DP backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
 
 
 def check_deadline(deadline: Optional[float], where: str = "solver") -> None:
@@ -92,16 +118,27 @@ class SolverStats:
     runs of the same problem produce equal stats (the counters are
     deterministic) even though their timings differ — which is what
     lets a resumed sweep compare equal to an uninterrupted one.
+
+    ``backend`` records which DP transition kernel produced the result
+    (``"python"`` / ``"numpy"``; empty for the non-DP solvers).  It is
+    excluded from equality — like the pack accounting below it describes
+    *how* the answer was computed, and a sweep resumed under a different
+    ``REPRO_RANK_BACKEND`` must still compare equal point-wise.  The
+    ``rows`` / ``states_explored`` / ``transitions`` counters are
+    backend-invariant (asserted by ``tests/core/test_backends.py``);
+    ``pack_checks`` / ``pack_successes`` / ``pack_pruned`` measure each
+    backend's own pruning work and are excluded from equality too.
     """
 
     solver: str = ""
     states_explored: int = 0
     transitions: int = 0
-    pack_checks: int = 0
-    pack_successes: int = 0
-    pack_pruned: int = 0
+    pack_checks: int = field(default=0, compare=False)
+    pack_successes: int = field(default=0, compare=False)
+    pack_pruned: int = field(default=0, compare=False)
     rows: int = 0
     runtime_seconds: float = field(default=0.0, compare=False)
+    backend: str = field(default="", compare=False)
 
 
 #: SolverStats counters folded into the metrics registry after a DP
@@ -126,6 +163,8 @@ def _publish_dp_stats(stats: "SolverStats") -> None:
     if not _metrics_enabled():
         return
     _obs_inc("solver.dp.solves")
+    if stats.backend:
+        _obs_inc(f"solver.dp.backend.{stats.backend}")
     for name in _DP_PUBLISHED_COUNTERS:
         _obs_inc(f"solver.dp.{name}", getattr(stats, name))
     _obs_observe("solver.dp.solve_s", stats.runtime_seconds)
@@ -160,6 +199,7 @@ def solve_rank_dp(
     repeater_units: int = DEFAULT_REPEATER_UNITS,
     collect_witness: bool = False,
     deadline: Optional[float] = None,
+    backend: Optional[str] = None,
 ) -> RawSolution:
     """Compute the rank of the architecture exactly (DP solver).
 
@@ -177,22 +217,32 @@ def solve_rank_dp(
         Optional absolute ``time.monotonic()`` instant; the DP raises
         :class:`~repro.errors.DeadlineExceeded` cooperatively (between
         group expansions) once it passes.
+    backend:
+        Transition-kernel implementation: ``"numpy"`` (vectorized,
+        whole-pair kernels) or ``"python"`` (the scalar per-state
+        reference loop).  ``None`` defers to ``REPRO_RANK_BACKEND``,
+        then ``"numpy"``.  Both backends return identical ranks,
+        witnesses, and deterministic counters
+        (``tests/core/test_backends.py``).
 
     Returns
     -------
     RawSolution
     """
+    backend = resolve_backend(backend)
     with _span(
         "solve_rank_dp",
         groups=tables.num_groups,
         pairs=tables.num_pairs,
         units=repeater_units,
+        backend=backend,
     ):
         return _solve_rank_dp_impl(
             tables,
             repeater_units=repeater_units,
             collect_witness=collect_witness,
             deadline=deadline,
+            backend=backend,
         )
 
 
@@ -201,15 +251,12 @@ def _solve_rank_dp_impl(
     repeater_units: int,
     collect_witness: bool,
     deadline: Optional[float],
+    backend: str,
 ) -> RawSolution:
     start_time = time.perf_counter()
-    stats = SolverStats(solver="dp")
+    stats = SolverStats(solver="dp", backend=backend)
 
     disc = discretize_repeaters(tables, repeater_units)
-    num_units = disc.num_units
-    num_groups = tables.num_groups
-    num_pairs = tables.num_pairs
-    cum_wires = tables.cum_wires
 
     # Definition 3: rank 0 outright if the WLD does not fit at all.
     fits = pack_suffix(tables, 0, 0, 0, 0.0)
@@ -217,6 +264,46 @@ def _solve_rank_dp_impl(
         stats.runtime_seconds = time.perf_counter() - start_time
         _publish_dp_stats(stats)
         return RawSolution(rank=0, fits=False, stats=stats)
+
+    if backend == "numpy":
+        from .dp_numpy import solve_pairs_numpy
+
+        best_rank, best_trace, parent_b, parent_r = solve_pairs_numpy(
+            tables, disc, stats, collect_witness, deadline
+        )
+    else:
+        best_rank, best_trace, parent_b, parent_r = _solve_pairs_python(
+            tables, disc, stats, collect_witness, deadline
+        )
+
+    witness = None
+    if collect_witness and best_trace is not None:
+        witness = _reconstruct_witness(
+            tables, disc, parent_b, parent_r, best_trace
+        )
+
+    stats.runtime_seconds = time.perf_counter() - start_time
+    _publish_dp_stats(stats)
+    return RawSolution(rank=best_rank, fits=True, stats=stats, witness=witness)
+
+
+def _solve_pairs_python(
+    tables: AssignmentTables,
+    disc,
+    stats: SolverStats,
+    collect_witness: bool,
+    deadline: Optional[float],
+):
+    """Scalar reference pair loop (the ``backend="python"`` kernel).
+
+    Returns ``(best_rank, best_trace, parent_b, parent_r)`` with
+    ``best_trace = (pair, b, e, r_pred)`` of the winning transition, or
+    ``None`` when no prefix meets delay.
+    """
+    num_units = disc.num_units
+    num_groups = tables.num_groups
+    num_pairs = tables.num_pairs
+    cum_wires = tables.cum_wires
 
     best_rank = 0
     best_trace: Optional[Tuple[int, int, int, int]] = None  # (pair, b, e, r_pred)
@@ -364,15 +451,7 @@ def _solve_rank_dp_impl(
         else:
             f_prev = np.minimum.accumulate(f_new, axis=1)
 
-    witness = None
-    if collect_witness and best_trace is not None:
-        witness = _reconstruct_witness(
-            tables, disc, parent_b, parent_r, best_trace
-        )
-
-    stats.runtime_seconds = time.perf_counter() - start_time
-    _publish_dp_stats(stats)
-    return RawSolution(rank=best_rank, fits=True, stats=stats, witness=witness)
+    return best_rank, best_trace, parent_b, parent_r
 
 
 def _reconstruct_witness(

@@ -62,3 +62,41 @@ def elmore_wire_delay(
     if length < 0:
         raise DelayModelError(f"wire length must be non-negative, got {length!r}")
     return stages * elmore_segment_delay(rc, device, size, length / stages)
+
+
+def elmore_wire_delay_batch(
+    rc: WireRC,
+    device: DeviceParameters,
+    size: float,
+    stages,
+    lengths,
+):
+    """Vectorized :func:`elmore_wire_delay` over stage/length arrays.
+
+    ``stages`` and ``lengths`` broadcast against each other; one call
+    cross-validates a whole layer-pair worth of wire groups against the
+    Otten--Brayton batch kernel.  Element arithmetic matches the scalar
+    function exactly.
+    """
+    import numpy as np
+
+    stages = np.asarray(stages, dtype=float)
+    lengths = np.asarray(lengths, dtype=float)
+    if size <= 0:
+        raise DelayModelError(f"repeater size must be positive, got {size!r}")
+    if stages.size and np.any(stages < 1):
+        raise DelayModelError("stage counts must be at least 1")
+    if lengths.size and np.any(lengths < 0):
+        raise DelayModelError("wire lengths must be non-negative")
+    segment = lengths / stages
+    r_d = device.output_resistance / size
+    c_in = size * device.input_capacitance
+    c_par = size * device.parasitic_capacitance
+    r_w = rc.resistance * segment
+    c_w = rc.capacitance * segment
+    per_stage = (
+        _LN2 * r_d * (c_w + c_in + c_par)
+        + _LN2 * r_w * c_in
+        + _DISTRIBUTED * r_w * c_w
+    )
+    return stages * per_stage

@@ -87,6 +87,46 @@ def wire_delay(
     return intrinsic + linear + quadratic
 
 
+def wire_delay_batch(
+    rc: WireRC,
+    device: DeviceParameters,
+    size: float,
+    stages,
+    lengths,
+    a: float = SWITCHING_A,
+    b: float = SWITCHING_B,
+):
+    """Vectorized :func:`wire_delay` over arrays of stages and lengths.
+
+    One call evaluates Eq. (3) for a whole layer-pair worth of wire
+    groups at once (``stages`` and ``lengths`` broadcast against each
+    other), which is what lets the assignment-table build and the
+    batched feasibility kernels stay free of per-wire Python loops.
+    Returns a float array of the broadcast shape.
+    """
+    import numpy as np
+
+    stages = np.asarray(stages, dtype=float)
+    lengths = np.asarray(lengths, dtype=float)
+    if size <= 0:
+        raise DelayModelError(f"repeater size must be positive, got {size!r}")
+    if lengths.size and np.any(lengths < 0):
+        raise DelayModelError("wire lengths must be non-negative")
+    if stages.size and np.any(stages < 1):
+        raise DelayModelError("stage counts must be at least 1")
+    intrinsic = b * device.intrinsic_delay * stages
+    linear = (
+        b
+        * (
+            rc.capacitance * device.output_resistance / size
+            + rc.resistance * device.input_capacitance * size
+        )
+        * lengths
+    )
+    quadratic = a * rc.rc_product * lengths ** 2 / stages
+    return intrinsic + linear + quadratic
+
+
 def unbuffered_delay(
     rc: WireRC,
     device: DeviceParameters,

@@ -44,6 +44,24 @@ def optimal_repeater_size(rc: WireRC, device: DeviceParameters) -> float:
     return max(1.0, size)
 
 
+def optimal_repeater_size_batch(rc_arrays, device: DeviceParameters):
+    """Vectorized :func:`optimal_repeater_size` over a whole architecture.
+
+    ``rc_arrays`` is an :class:`~repro.rc.models.RCArrays` (or anything
+    with ``resistance`` / ``capacitance`` arrays); one call sizes every
+    layer-pair's repeater.  Element arithmetic matches the scalar
+    function exactly.
+    """
+    import numpy as np
+
+    size = np.sqrt(
+        rc_arrays.capacitance
+        * device.output_resistance
+        / (device.input_capacitance * rc_arrays.resistance)
+    )
+    return np.maximum(1.0, size)
+
+
 def min_stages_for_target(
     rc: WireRC,
     device: DeviceParameters,

@@ -63,6 +63,40 @@ class WireRC:
         )
 
 
+@dataclass(frozen=True)
+class RCArrays:
+    """Dense per-layer-pair RC arrays for the batched delay kernels.
+
+    The structure-of-arrays mirror of a sequence of :class:`WireRC`
+    bundles: the assignment-table build and the NumPy feasibility
+    kernels evaluate one whole architecture per call instead of looping
+    pair by pair over scalars.  ``rc_product[j]`` is computed by the
+    same multiplication as :attr:`WireRC.rc_product`, so batched and
+    scalar delay evaluations agree bit-for-bit.
+    """
+
+    resistance: "np.ndarray"
+    capacitance: "np.ndarray"
+    rc_product: "np.ndarray"
+
+    def __len__(self) -> int:
+        return int(self.resistance.size)
+
+
+def stack_rc_arrays(rcs) -> RCArrays:
+    """Stack an iterable of :class:`WireRC` into one :class:`RCArrays`."""
+    import numpy as np
+
+    rcs = list(rcs)
+    resistance = np.array([rc.resistance for rc in rcs], dtype=float)
+    capacitance = np.array([rc.capacitance for rc in rcs], dtype=float)
+    return RCArrays(
+        resistance=resistance,
+        capacitance=capacitance,
+        rc_product=resistance * capacitance,
+    )
+
+
 def extract_wire_rc(
     rule: MetalRule,
     conductor: Conductor,

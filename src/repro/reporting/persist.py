@@ -99,6 +99,7 @@ def rank_result_to_dict(result: RankResult) -> dict:
             "pack_pruned": result.stats.pack_pruned,
             "rows": result.stats.rows,
             "runtime_seconds": result.stats.runtime_seconds,
+            "backend": result.stats.backend,
         },
     }
     if result.witness is not None:
@@ -130,6 +131,9 @@ def rank_result_from_dict(payload: dict) -> RankResult:
             # absent in pre-observability files
             rows=stats_data.get("rows", 0),
             runtime_seconds=stats_data["runtime_seconds"],
+            # absent in pre-backend files (those ran the scalar loop,
+            # but "" is honest: the field records what was persisted)
+            backend=stats_data.get("backend", ""),
         )
         witness = None
         if "witness" in payload:

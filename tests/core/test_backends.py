@@ -1,0 +1,154 @@
+"""Backend parity: the numpy DP kernels match the scalar python loop.
+
+The vectorized transition kernels in :mod:`repro.core.dp_numpy` promise
+*bit-identical* results to the scalar reference loop — not merely the
+same rank, but the same witness, the same feasibility verdict, and the
+same deterministic solver counters.  These tests pin that contract on
+randomized instances (Hypothesis) and on the degradation paths
+(deadlines, bunching, zero budget) where the two implementations could
+plausibly diverge.
+"""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compute_rank
+from repro.core.dp import BACKENDS, BACKEND_ENV, resolve_backend, solve_rank_dp
+from repro.errors import DeadlineExceeded, RankComputationError
+
+from ..conftest import make_tiny_problem
+
+
+def _pair(problem, units, **options):
+    """Solve on both backends with witness collection; return (numpy, python)."""
+    np_res = compute_rank(
+        problem,
+        solver="dp",
+        repeater_units=units,
+        collect_witness=True,
+        backend="numpy",
+        **options,
+    )
+    py_res = compute_rank(
+        problem,
+        solver="dp",
+        repeater_units=units,
+        collect_witness=True,
+        backend="python",
+        **options,
+    )
+    return np_res, py_res
+
+
+def _assert_identical(np_res, py_res):
+    assert np_res.rank == py_res.rank
+    assert np_res.fits == py_res.fits
+    assert np_res.normalized == py_res.normalized
+    assert np_res.witness == py_res.witness
+    # Deterministic counters are backend-invariant by design; the
+    # pack_* fields and `backend` are compare=False precisely because
+    # they are allowed to differ.
+    assert np_res.stats.rows == py_res.stats.rows
+    assert np_res.stats.states_explored == py_res.stats.states_explored
+    assert np_res.stats.transitions == py_res.stats.transitions
+    assert np_res.stats.backend == "numpy"
+    assert py_res.stats.backend == "python"
+
+
+class TestParity:
+    @pytest.mark.parametrize(
+        "lengths,fraction,clock",
+        [
+            ([1200, 700, 300, 90, 25], 0.2, 5e8),
+            ([1500, 1400, 1300], 0.05, 1e9),
+            ([2000, 50, 40, 30, 2, 1], 0.3, 5e8),
+            ([33], 0.2, 5e8),
+        ],
+    )
+    def test_hand_picked(self, node130, lengths, fraction, clock):
+        problem = make_tiny_problem(
+            node130, lengths, repeater_fraction=fraction, clock_frequency=clock
+        )
+        _assert_identical(*_pair(problem, units=32))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        lengths=st.sets(
+            st.integers(min_value=2, max_value=1800), min_size=1, max_size=6
+        ),
+        fraction=st.sampled_from([0.0, 0.03, 0.15, 0.35]),
+        clock=st.sampled_from([3e8, 7e8, 1.5e9]),
+        units=st.sampled_from([8, 32, 64]),
+        semi=st.sampled_from([0, 1]),
+    )
+    def test_parity_property(
+        self, node130, lengths, fraction, clock, units, semi
+    ):
+        problem = make_tiny_problem(
+            node130,
+            sorted(lengths, reverse=True),
+            repeater_fraction=fraction,
+            clock_frequency=clock,
+            semi_global_pairs=semi,
+        )
+        _assert_identical(*_pair(problem, units))
+
+    def test_bunched_parity(self, small_baseline):
+        """Full-pipeline problem at group granularity: both backends
+        agree on the coarsened instance too, witness included."""
+        _assert_identical(
+            *_pair(small_baseline, units=128, bunch_size=5_000)
+        )
+
+    def test_infinite_unit_area_branch(self, node130):
+        """Zero repeater fraction drives the inf-unit-area code path
+        (every positive area is infeasible) on both backends."""
+        problem = make_tiny_problem(
+            node130, [900, 500, 100], repeater_fraction=0.0
+        )
+        _assert_identical(*_pair(problem, units=8))
+
+
+class TestDeadline:
+    def test_expired_deadline_raises_on_both(self, node130):
+        problem = make_tiny_problem(node130, [1200, 700, 300])
+        tables, _ = problem.tables()
+        expired = time.monotonic() - 1.0
+        for backend in BACKENDS:
+            with pytest.raises(DeadlineExceeded):
+                solve_rank_dp(
+                    tables,
+                    repeater_units=16,
+                    deadline=expired,
+                    backend=backend,
+                )
+
+
+class TestBackendSelection:
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(RankComputationError):
+            resolve_backend("fortran")
+
+    def test_resolve_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == "numpy"
+
+    def test_env_var_selects_backend(self, node130, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        problem = make_tiny_problem(node130, [800, 200])
+        result = compute_rank(problem, repeater_units=8)
+        assert result.stats.backend == "python"
+
+    def test_explicit_backend_overrides_env(self, node130, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        problem = make_tiny_problem(node130, [800, 200])
+        result = compute_rank(problem, repeater_units=8, backend="numpy")
+        assert result.stats.backend == "numpy"
+
+    def test_invalid_backend_rejected_eagerly(self, node130):
+        problem = make_tiny_problem(node130, [800, 200])
+        with pytest.raises(RankComputationError):
+            compute_rank(problem, solver="greedy", backend="fortran")

@@ -18,7 +18,11 @@ from ..conftest import make_tiny_problem
 
 
 def solve_all(problem, units):
-    dp = compute_rank(problem, solver="dp", repeater_units=units)
+    dp = compute_rank(problem, solver="dp", repeater_units=units, backend="numpy")
+    dp_py = compute_rank(
+        problem, solver="dp", repeater_units=units, backend="python"
+    )
+    assert dp.rank == dp_py.rank and dp.fits == dp_py.fits
     ref = compute_rank(problem, solver="reference", repeater_units=units)
     exh = compute_rank(problem, solver="exhaustive", repeater_units=units)
     return dp, ref, exh

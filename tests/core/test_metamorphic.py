@@ -101,3 +101,28 @@ class TestSolverEquivalence:
         ref = compute_rank(problem, solver="reference", repeater_units=32)
         assert dp.rank == ref.rank
         assert dp.fits == ref.fits
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        lengths=_lengths,
+        fraction=st.sampled_from([0.1, 0.25, 0.4]),
+    )
+    def test_backends_are_one_solver(self, node130, lengths, fraction):
+        """The numpy and python DP backends are the *same* solver in
+        two implementations: rank, witness, and deterministic counters
+        must all coincide (see tests/core/test_backends.py for the full
+        parity suite; this pins the relation alongside the other
+        metamorphic properties)."""
+        problem = _tiny(
+            node130, sorted(lengths, reverse=True), repeater_fraction=fraction
+        )
+        np_res = compute_rank(
+            problem, repeater_units=32, collect_witness=True, backend="numpy"
+        )
+        py_res = compute_rank(
+            problem, repeater_units=32, collect_witness=True, backend="python"
+        )
+        assert np_res.rank == py_res.rank
+        assert np_res.witness == py_res.witness
+        assert np_res.stats.rows == py_res.stats.rows
+        assert np_res.stats.transitions == py_res.stats.transitions

@@ -1,0 +1,110 @@
+"""The stable ``repro.api`` facade and its deprecation shims.
+
+Covers the API-redesign contract: the facade functions are re-exported
+from :mod:`repro`, old import spellings and old calling conventions
+keep working but emit :class:`DeprecationWarning`, and the facade
+returns results identical to the implementation modules it wraps.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.errors import RankComputationError
+
+from .conftest import make_tiny_problem
+
+
+class TestFacadeSurface:
+    def test_reexported_from_top_level(self):
+        for name in api.__all__:
+            if name == "optimize":
+                # deliberately not re-exported: the name belongs to the
+                # repro.optimize subpackage at top level
+                assert repro.optimize.__name__ == "repro.optimize"
+                continue
+            assert getattr(repro, name) is getattr(api, name)
+
+    def test_facade_matches_impl(self, node130):
+        problem = make_tiny_problem(node130, [1200, 700, 300])
+        from repro.core.rank import compute_rank as impl
+
+        via_facade = api.compute_rank(problem, repeater_units=16)
+        direct = impl(problem, repeater_units=16)
+        assert via_facade == direct
+
+    def test_backend_knob(self, node130):
+        problem = make_tiny_problem(node130, [1200, 700, 300])
+        py = api.compute_rank(problem, repeater_units=16, backend="python")
+        np_ = api.compute_rank(problem, repeater_units=16, backend="numpy")
+        assert py.rank == np_.rank
+        assert py.stats.backend == "python"
+        assert np_.stats.backend == "numpy"
+
+    def test_corners_default_set(self, node130):
+        from repro.analysis.corners import STANDARD_CORNERS
+
+        problem = make_tiny_problem(node130, [900, 400])
+        report = api.corners(problem, repeater_units=8)
+        assert len(report.results) == len(STANDARD_CORNERS)
+
+    def test_sweep(self, node130):
+        base = make_tiny_problem(node130, [900, 400])
+        result = api.sweep(
+            "toy",
+            [5e8, 1e9],
+            lambda clock: base.with_clock(clock)
+            if hasattr(base, "with_clock")
+            else make_tiny_problem(node130, [900, 400], clock_frequency=clock),
+            repeater_units=8,
+        )
+        assert len(result.points) == 2
+
+    def test_bench_validates_repeats(self):
+        with pytest.raises(RankComputationError):
+            api.bench(repeats=0)
+
+
+class TestDeprecationShims:
+    def test_core_import_warns(self):
+        import repro.core as core
+
+        for name in ("compute_rank", "baseline_problem", "paper_baseline_130nm"):
+            with pytest.warns(DeprecationWarning, match=name):
+                obj = getattr(core, name)
+            assert callable(obj)
+
+    def test_core_unknown_attribute_raises(self):
+        import repro.core as core
+
+        with pytest.raises(AttributeError):
+            core.definitely_not_a_thing
+
+    def test_positional_options_warn_and_agree(self, node130):
+        problem = make_tiny_problem(node130, [1200, 700, 300])
+        with pytest.warns(DeprecationWarning, match="positional"):
+            legacy = api.compute_rank(problem, "dp", None, None, 16)
+        modern = api.compute_rank(
+            problem, solver="dp", bunch_size=None, max_groups=None,
+            repeater_units=16,
+        )
+        assert legacy == modern
+
+    def test_too_many_positional_options_raise(self, node130):
+        problem = make_tiny_problem(node130, [900])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError):
+                api.compute_rank(
+                    problem, "dp", None, None, 16, False, None, None, "extra"
+                )
+
+    def test_top_level_import_does_not_warn(self):
+        """``from repro import compute_rank`` is the supported spelling
+        and must stay silent."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro import compute_rank  # noqa: F401
+            from repro import baseline_problem  # noqa: F401

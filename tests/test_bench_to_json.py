@@ -26,6 +26,7 @@ def test_bench_emits_valid_report(tmp_path):
             "--points", "2",
             "--jobs", "2",
             "--out", str(out),
+            "--kernel-repeats", "1",
         ],
         capture_output=True,
         text=True,
@@ -43,6 +44,16 @@ def test_bench_emits_valid_report(tmp_path):
         "davis_wld_s", "coarsen_s", "tables_s", "solve_dp_s"
     }
     assert report["machine"]["cpu_count"] >= 1
+    # Kernel section: both DP backends ran, agreed on the rank (bench()
+    # raises otherwise), and reported positive timings.
+    kernel = report["kernel"]
+    assert set(kernel["backends"]) == {"python", "numpy"}
+    assert (
+        kernel["backends"]["python"]["rank"]
+        == kernel["backends"]["numpy"]["rank"]
+    )
+    assert kernel["backends"]["numpy"]["solve_s"] > 0
+    assert kernel["speedup_numpy_over_python"] > 0
     # Sequential run reuses the warmed coarse WLD on every point.
     seq_cache = report["precompute_cache"]["sequential"]
     assert seq_cache["hits"]["coarsened"] == 2

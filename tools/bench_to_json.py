@@ -34,8 +34,10 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 #: Schema version of the emitted file.
 BENCH_FORMAT = "repro.bench"
-#: v2 added the ``metrics`` section (registry snapshot of the run).
-BENCH_VERSION = 2
+#: v2 added the ``metrics`` section (registry snapshot of the run);
+#: v3 added the ``kernel`` section (numpy-vs-python DP backend timings
+#: from :func:`repro.api.bench`, with cross-backend rank validation).
+BENCH_VERSION = 3
 
 
 def _timed(fn):
@@ -95,6 +97,20 @@ def run_bench(args) -> dict:
     tables, tables_s = _timed(lambda: problem.tables_on(coarse_pair[0]))
     solution, solve_s = _timed(
         lambda: solve_rank_dp(tables, repeater_units=args.units)
+    )
+
+    # --- Backend kernel comparison -----------------------------------
+    # repro.api.bench solves the same baseline on both DP backends
+    # (best-of-N) and raises if their ranks disagree, so a kernel
+    # section in the report is also a cross-validation pass.
+    from repro.api import bench as kernel_bench
+
+    kernel = kernel_bench(
+        node=args.node,
+        gates=args.gates,
+        bunch_size=bunch,
+        repeater_units=args.units,
+        repeats=args.kernel_repeats,
     )
 
     # --- Sequential vs parallel sweep --------------------------------
@@ -157,6 +173,7 @@ def run_bench(args) -> dict:
             "tables_s": tables_s,
             "solve_dp_s": solve_s,
         },
+        "kernel": kernel,
         "solver_stats": {
             "rank": solution.rank,
             "states_explored": stats.states_explored,
@@ -220,6 +237,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--jobs", type=int, default=4, help="parallel workers (0 = one per CPU)"
     )
+    parser.add_argument(
+        "--kernel-repeats",
+        type=int,
+        default=3,
+        help="best-of-N repeats per DP backend in the kernel section",
+    )
     parser.add_argument("--out", default="BENCH_rank.json", help="output path")
     parser.add_argument(
         "--trace",
@@ -249,9 +272,23 @@ def main(argv=None) -> int:
         f"speedup {batch['speedup']:.2f}x on "
         f"{report['machine']['cpu_count']} CPUs"
     )
+    kernel = report["kernel"]
+    speedup = kernel["speedup_numpy_over_python"]
+    print(
+        f"kernel: python {kernel['backends']['python']['solve_s']:.4f}s, "
+        f"numpy {kernel['backends']['numpy']['solve_s']:.4f}s, "
+        f"speedup {speedup:.2f}x (rank {kernel['backends']['numpy']['rank']})"
+    )
     if not batch["identical"]:
         print(
             "ERROR: parallel sweep diverged from sequential output",
+            file=sys.stderr,
+        )
+        return 1
+    if speedup is not None and speedup < 1.0:
+        print(
+            f"ERROR: numpy backend slower than python ({speedup:.2f}x) — "
+            "the vectorized kernels have regressed",
             file=sys.stderr,
         )
         return 1
