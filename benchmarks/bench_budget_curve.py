@@ -9,12 +9,15 @@ area — is the arithmetic behind the paper's linear R column.
 
 import numpy as np
 
-from repro.core.curve import solve_budget_rank_curve
+# Internal import on purpose: this microbenchmark isolates the DP
+# curve pass from the table build, which api.budget_curve folds in.
+from repro.core.curve import solve_budget_rank_curve  # noqa: RPL004
 from repro.reporting.text import format_table
+from repro.units import to_mm2
 
 from .conftest import BENCH_GATES, run_once
 
-from repro.core.scenarios import baseline_problem
+from repro.api import baseline_problem
 
 
 def test_budget_rank_curve(benchmark):
@@ -30,7 +33,7 @@ def test_budget_rank_curve(benchmark):
         rows.append(
             (
                 cells,
-                f"{area * 1e6:.3f}",
+                f"{to_mm2(area):.3f}",
                 curve.ranks[cells],
                 f"{curve.ranks[cells] / total:.6f}",
             )

@@ -17,7 +17,7 @@ from repro.reporting.text import format_table
 
 from .conftest import BENCH_GATES, run_once
 
-from repro.core.scenarios import baseline_problem
+from repro.api import baseline_problem
 
 
 def test_architecture_optimization(benchmark):

@@ -16,8 +16,7 @@ import os
 import time
 
 from repro.analysis.sweep import sweep_repeater_fraction
-from repro.core.precompute import PrecomputeCache
-from repro.core.scenarios import baseline_problem
+from repro.api import PrecomputeCache, baseline_problem
 from repro.reporting.text import format_table
 
 from .conftest import BENCH_GATES, BENCH_OPTIONS, run_once

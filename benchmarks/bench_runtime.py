@@ -10,7 +10,7 @@ paper's O(n^4) dimension, tamed by bunching), the number of layer-pairs
 import time
 
 from repro import ArchitectureSpec, build_architecture, compute_rank
-from repro.core.scenarios import baseline_problem
+from repro.api import baseline_problem
 from repro.reporting.text import format_table
 
 from .conftest import BENCH_GATES, BENCH_OPTIONS, run_once

@@ -6,8 +6,10 @@ per-(pair, group) assignment tables.  Regressions here multiply into
 every sweep.
 """
 
-from repro.assign.tables import build_tables
-from repro.core.scenarios import baseline_problem
+# Internal import on purpose: this microbenchmark times the
+# assignment-table build itself, below the facade.
+from repro.assign.tables import build_tables  # noqa: RPL004
+from repro.api import baseline_problem
 from repro.wld.davis import DavisParameters, davis_wld
 
 from .conftest import BENCH_GATES

@@ -15,7 +15,7 @@ import os
 
 import pytest
 
-from repro.core.scenarios import baseline_problem
+from repro.api import baseline_problem
 
 #: Gate count used by the table/figure benchmarks.
 BENCH_GATES = int(os.environ.get("REPRO_BENCH_GATES", "1000000"))

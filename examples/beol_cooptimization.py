@@ -26,6 +26,7 @@ from repro.core.scenarios import baseline_problem
 from repro.optimize import DesignSpace, optimize_architecture
 from repro.power import PowerModel, witness_power
 from repro.reporting.text import format_table
+from repro.units import NANO, to_mm2
 from repro import compute_rank
 
 
@@ -73,12 +74,12 @@ def main() -> None:
     print()
     print("Repeater-area reconciliation (footnote 3):")
     print(
-        f"  provisioned {initial.provisioned_area * 1e6:.3f} mm^2, "
-        f"used {initial.used_area * 1e6:.3f} mm^2 "
+        f"  provisioned {to_mm2(initial.provisioned_area):.3f} mm^2, "
+        f"used {to_mm2(initial.used_area):.3f} mm^2 "
         f"({initial.utilized * 100:.0f}% utilized)"
     )
     print(
-        f"  right-sized to {final.provisioned_area * 1e6:.3f} mm^2 "
+        f"  right-sized to {to_mm2(final.provisioned_area):.3f} mm^2 "
         f"(fraction {final.repeater_fraction:.3f}); "
         f"rank {initial.result.rank:,} -> {final.result.rank:,}"
     )
@@ -95,7 +96,7 @@ def main() -> None:
     print(f"  wire cap:  {power.wire_power * 1e3:.2f} mW")
     print(f"  repeaters: {power.repeater_power * 1e3:.2f} mW")
     print(f"  total:     {power.total * 1e3:.2f} mW "
-          f"({power.per_wire() * 1e9:.2f} nW/wire)")
+          f"({power.per_wire() / NANO:.2f} nW/wire)")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ from repro import (
     get_node,
 )
 from repro.delay.repeater import optimal_repeater_size
+from repro.units import to_um2
 from repro.wld.synthetic import wld_from_pairs
 
 
@@ -56,7 +57,7 @@ def main() -> None:
     print(f"  top-pair repeater size (cost):    {s_top:.0f}x minimum")
     print(f"  bottom-pair repeater size (cost): {s_bot:.0f}x minimum")
     print(
-        f"  budget: {problem.die.repeater_area * 1e12:.2f} um^2 "
+        f"  budget: {to_um2(problem.die.repeater_area):.2f} um^2 "
         f"(~2.2 top-pair stages, ~{2.2 * s_top / s_bot:.1f} bottom-pair stages)"
     )
     print()

@@ -21,6 +21,7 @@ import time
 
 from repro import compute_rank
 from repro.core.scenarios import baseline_problem
+from repro.units import to_mm2
 
 
 def main() -> None:
@@ -33,8 +34,8 @@ def main() -> None:
     print("Design")
     print(f"  gates:            {args.gates:,}")
     print(f"  WLD:              {problem.wld.describe()}")
-    print(f"  die area:         {problem.die.die_area * 1e6:.2f} mm^2")
-    print(f"  repeater budget:  {problem.die.repeater_area * 1e6:.2f} mm^2")
+    print(f"  die area:         {to_mm2(problem.die.die_area):.2f} mm^2")
+    print(f"  repeater budget:  {to_mm2(problem.die.repeater_area):.2f} mm^2")
     print(f"  architecture:     {problem.arch.name}")
     print()
 

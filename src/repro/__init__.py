@@ -82,7 +82,15 @@ from .wld import (
 # ``repro.api.optimize`` (or the long-standing ``optimize_architecture``
 # alias above).
 from . import api
-from .api import bench, compute_rank, corners, load_node, sweep
+from .api import (
+    PrecomputeCache,
+    bench,
+    budget_curve,
+    compute_rank,
+    corners,
+    load_node,
+    sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -109,8 +117,10 @@ __all__ = [
     "api",
     "sweep",
     "corners",
+    "budget_curve",
     "load_node",
     "bench",
+    "PrecomputeCache",
     # technology
     "TechnologyNode",
     "MetalRule",

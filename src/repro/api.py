@@ -26,13 +26,22 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # import-time cycle guards; annotations are lazy
+    from .analysis.corners import Corner, CornerReport
+    from .analysis.sweep import SweepResult
+    from .assign.tables import AssignmentTables
+    from .core.curve import BudgetRankCurve
+    from .optimize.search import DesignSpace, OptimizationResult
 
 from .core.discretize import DEFAULT_REPEATER_UNITS
 from .core.dp import BACKENDS, resolve_backend, solve_rank_dp
+from .core.precompute import PrecomputeCache
 from .core.problem import RankProblem
 from .core.rank import RankResult
 from .core.rank import compute_rank as _compute_rank_impl
+from .core.scenarios import baseline_problem
 from .errors import RankComputationError
 from .tech.io import load_node
 
@@ -41,8 +50,16 @@ __all__ = [
     "sweep",
     "corners",
     "optimize",
+    "budget_curve",
     "load_node",
     "bench",
+    # Re-exported building blocks, so caller layers (CLI, tools,
+    # benchmarks — see lintkit rule RPL004) never reach into
+    # repro.core directly:
+    "baseline_problem",
+    "PrecomputeCache",
+    "RankProblem",
+    "RankResult",
 ]
 
 #: Legacy positional parameter order of ``compute_rank`` (everything
@@ -60,14 +77,14 @@ _LEGACY_POSITIONAL = (
 
 def compute_rank(
     problem: RankProblem,
-    *args,
+    *args: Any,
     solver: str = "dp",
     bunch_size: Optional[int] = None,
     max_groups: Optional[int] = None,
     repeater_units: int = DEFAULT_REPEATER_UNITS,
     collect_witness: bool = False,
     deadline: Optional[float] = None,
-    cache=None,
+    cache: Optional[PrecomputeCache] = None,
     backend: Optional[str] = None,
 ) -> RankResult:
     """Compute the rank of the problem's architecture.
@@ -130,8 +147,8 @@ def sweep(
     make_problem: Callable[[float], RankProblem],
     *,
     backend: Optional[str] = None,
-    **options,
-):
+    **options: Any,
+) -> "SweepResult":
     """Evaluate the rank at each knob value (the Table 4 engine).
 
     Facade over :func:`repro.analysis.sweep.run_sweep`; all of its
@@ -147,10 +164,10 @@ def sweep(
 def corners(
     problem: RankProblem,
     *,
-    corners: Optional[Sequence] = None,
+    corners: Optional[Sequence["Corner"]] = None,
     backend: Optional[str] = None,
-    **options,
-):
+    **options: Any,
+) -> "CornerReport":
     """Evaluate the rank across process/operating corners.
 
     Facade over :func:`repro.analysis.corners.rank_across_corners`
@@ -169,11 +186,11 @@ def corners(
 
 def optimize(
     problem: RankProblem,
-    space,
+    space: "DesignSpace",
     *,
     backend: Optional[str] = None,
-    **options,
-):
+    **options: Any,
+) -> "OptimizationResult":
     """Search a design space for the highest-rank architecture.
 
     Facade over :func:`repro.optimize.search.optimize_architecture`;
@@ -184,6 +201,28 @@ def optimize(
     from .optimize.search import optimize_architecture
 
     return optimize_architecture(problem, space, backend=backend, **options)
+
+
+def budget_curve(
+    problem: RankProblem,
+    *,
+    bunch_size: Optional[int] = None,
+    repeater_units: int = DEFAULT_REPEATER_UNITS,
+    cache: Optional[PrecomputeCache] = None,
+) -> Tuple["BudgetRankCurve", "AssignmentTables"]:
+    """Rank as a function of repeater budget, in one DP pass.
+
+    Facade over :func:`repro.core.curve.solve_budget_rank_curve`.
+    Returns ``(curve, tables)``: the
+    :class:`~repro.core.curve.BudgetRankCurve` plus the assignment
+    tables it was solved on (whose ``total_wires`` normalises the
+    curve for reporting).
+    """
+    from .core.curve import solve_budget_rank_curve
+
+    tables, _ = problem.tables(bunch_size=bunch_size, cache=cache)
+    curve = solve_budget_rank_curve(tables, repeater_units=repeater_units)
+    return curve, tables
 
 
 def bench(
@@ -207,8 +246,6 @@ def bench(
     Raises :class:`~repro.errors.RankComputationError` if the backends
     disagree on rank — a benchmark of wrong answers is worthless.
     """
-    from .core.scenarios import baseline_problem
-
     if repeats < 1:
         raise RankComputationError(f"repeats must be >= 1, got {repeats!r}")
     problem = baseline_problem(node, gates)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence, Tuple
 
 from ..errors import ConfigurationError
+from ..units import to_um
 from .layer import LayerPair
 
 
@@ -85,9 +86,9 @@ class InterconnectArchitecture:
     def describe(self) -> str:
         """One-line human-readable stack summary, top to bottom."""
         parts = [
-            f"{p.name}(W={p.metal.min_width * 1e6:.3f}um, "
-            f"S={p.metal.min_spacing * 1e6:.3f}um, "
-            f"T={p.metal.thickness * 1e6:.3f}um)"
+            f"{p.name}(W={to_um(p.metal.min_width):.3f}um, "
+            f"S={to_um(p.metal.min_spacing):.3f}um, "
+            f"T={to_um(p.metal.thickness):.3f}um)"
             for p in self.pairs
         ]
         return f"{self.name}: " + " / ".join(parts)

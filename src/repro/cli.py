@@ -74,13 +74,13 @@ from .analysis.sweep import (
     sweep_permittivity,
     sweep_repeater_fraction,
 )
-from .api import compute_rank
-from .core.scenarios import baseline_problem
+from .api import baseline_problem, compute_rank
 from .errors import ReproError
 from .optimize import DesignSpace, optimize_architecture
 from .reporting.tables import format_node_table, format_sweep_table, sweep_to_csv
 from .reporting.text import format_run_journal, format_table
 from .runner import RetryPolicy
+from .units import to_mm2, to_ps
 from .wld.davis import DavisParameters, davis_wld
 from .wld.io import save_wld_csv
 
@@ -267,8 +267,8 @@ def _batch_exit_code(journal, n_results: int, n_failures: int) -> int:
 
 def _problem_from_args(args: argparse.Namespace):
     if getattr(args, "node_file", ""):
+        from .api import RankProblem
         from .arch import ArchitectureSpec, DieModel, build_architecture
-        from .core.problem import RankProblem
         from .tech.io import load_node
 
         node = load_node(args.node_file)
@@ -448,7 +448,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         summary = summarize_slack(slack_profile(tables, result))
         print()
         print(
-            f"timing: min slack {summary.min_slack * 1e12:.2f} ps at "
+            f"timing: min slack {to_ps(summary.min_slack):.2f} ps at "
             f"length {summary.critical_length:g} pitches; boundary group "
             f"relative slack {summary.boundary_relative_slack * 100:.1f}% "
             f"({'delay-wall' if summary.boundary_relative_slack < 0.05 else 'budget'}-bound)"
@@ -457,11 +457,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_curve(args: argparse.Namespace) -> int:
-    from .core.curve import solve_budget_rank_curve
+    from .api import budget_curve
 
     problem = _problem_from_args(args)
-    tables, _ = problem.tables(bunch_size=args.bunch_size or None)
-    curve = solve_budget_rank_curve(tables, repeater_units=args.repeater_units)
+    curve, tables = budget_curve(
+        problem,
+        bunch_size=args.bunch_size or None,
+        repeater_units=args.repeater_units,
+    )
     total = tables.total_wires
     step = max(1, curve.num_units // args.points) if curve.num_units else 1
     rows = []
@@ -469,7 +472,7 @@ def _cmd_curve(args: argparse.Namespace) -> int:
         rows.append(
             (
                 cells,
-                f"{cells * curve.cell_area * 1e6:.4f}",
+                f"{to_mm2(cells * curve.cell_area):.4f}",
                 curve.ranks[cells],
                 f"{curve.ranks[cells] / total:.6f}",
             )

@@ -15,10 +15,14 @@ with ``R_d = r_o/s``, ``C_in = s*c_o``, ``C_par = s*c_p``,
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from ..errors import DelayModelError
 from ..rc.models import WireRC
 from ..tech.device import DeviceParameters
+
+if TYPE_CHECKING:  # numpy loads lazily in the batch kernel below
+    import numpy as np
 
 _LN2 = math.log(2.0)
 _DISTRIBUTED = 0.38
@@ -68,9 +72,9 @@ def elmore_wire_delay_batch(
     rc: WireRC,
     device: DeviceParameters,
     size: float,
-    stages,
-    lengths,
-):
+    stages: "np.ndarray",
+    lengths: "np.ndarray",
+) -> "np.ndarray":
     """Vectorized :func:`elmore_wire_delay` over stage/length arrays.
 
     ``stages`` and ``lengths`` broadcast against each other; one call

@@ -23,11 +23,15 @@ repeaters trade driver self-delay against quadratic wire delay.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from ..constants import SWITCHING_A, SWITCHING_B
 from ..errors import DelayModelError
 from ..rc.models import WireRC
 from ..tech.device import DeviceParameters
+
+if TYPE_CHECKING:  # numpy loads lazily in the batch kernel below
+    import numpy as np
 
 
 def _validate(length: float, size: float, stages: int) -> None:
@@ -91,11 +95,11 @@ def wire_delay_batch(
     rc: WireRC,
     device: DeviceParameters,
     size: float,
-    stages,
-    lengths,
+    stages: "np.ndarray",
+    lengths: "np.ndarray",
     a: float = SWITCHING_A,
     b: float = SWITCHING_B,
-):
+) -> "np.ndarray":
     """Vectorized :func:`wire_delay` over arrays of stages and lengths.
 
     One call evaluates Eq. (3) for a whole layer-pair worth of wire

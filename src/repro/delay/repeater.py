@@ -20,13 +20,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..constants import SWITCHING_A, SWITCHING_B
 from ..errors import DelayModelError
 from ..rc.models import WireRC
 from ..tech.device import DeviceParameters
 from .ottenbrayton import wire_delay
+
+if TYPE_CHECKING:  # numpy loads lazily in the batch kernels below
+    import numpy as np
+
+    from ..rc.models import RCArrays
 
 
 def optimal_repeater_size(rc: WireRC, device: DeviceParameters) -> float:
@@ -44,7 +49,9 @@ def optimal_repeater_size(rc: WireRC, device: DeviceParameters) -> float:
     return max(1.0, size)
 
 
-def optimal_repeater_size_batch(rc_arrays, device: DeviceParameters):
+def optimal_repeater_size_batch(
+    rc_arrays: "RCArrays", device: DeviceParameters
+) -> "np.ndarray":
     """Vectorized :func:`optimal_repeater_size` over a whole architecture.
 
     ``rc_arrays`` is an :class:`~repro.rc.models.RCArrays` (or anything
@@ -143,13 +150,13 @@ def min_stages_for_target(
 def min_stages_for_target_batch(
     rc: WireRC,
     device: DeviceParameters,
-    lengths,
-    targets,
+    lengths: "np.ndarray",
+    targets: "np.ndarray",
     size: Optional[float] = None,
     max_stages: Optional[int] = None,
     a: float = SWITCHING_A,
     b: float = SWITCHING_B,
-):
+) -> "np.ndarray":
     """Vectorized :func:`min_stages_for_target` over length/target arrays.
 
     Returns an int64 array of minimal stage counts with ``-1`` marking

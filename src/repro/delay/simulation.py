@@ -22,6 +22,7 @@ obviously-correct, and independent.
 from __future__ import annotations
 
 import math
+from typing import Tuple
 
 import numpy as np
 
@@ -38,7 +39,7 @@ def _ladder_matrices(
     load_capacitance: float,
     length: float,
     sections: int,
-):
+) -> Tuple[np.ndarray, np.ndarray]:
     """State-space matrices of one RC-ladder segment.
 
     Node voltages v (size ``sections + 1``; the last node carries the

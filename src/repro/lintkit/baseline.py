@@ -1,0 +1,179 @@
+"""Grandfathered-violation baseline.
+
+A baseline file lets the CI gate start strict on *new* code while
+existing, justified violations are carried explicitly.  Each entry
+records the finding's fingerprint (rule code + path + stripped source
+line — no line numbers, so baselines survive unrelated edits), an
+allowed occurrence count, and an optional human justification that the
+docs require for every entry.
+
+Workflow::
+
+    python -m repro.lintkit src tests tools --write-baseline   # regenerate
+    # edit lint_baseline.json, add "justification" to each entry
+    python -m repro.lintkit src tests tools                    # gate: new findings only
+
+Matching consumes baseline capacity per fingerprint: two identical
+violations on identical source lines need ``count: 2``.  Entries that
+match nothing are reported as *stale* so the baseline only ever
+shrinks.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .context import Finding
+from ..errors import ReproError
+
+FORMAT_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """A baseline file is missing, malformed, or the wrong version."""
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered violation (or N identical ones via ``count``)."""
+
+    fingerprint: str
+    code: str
+    path: str
+    line_text: str
+    count: int = 1
+    justification: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "fingerprint": self.fingerprint,
+            "code": self.code,
+            "path": self.path,
+            "line_text": self.line_text,
+            "count": self.count,
+        }
+        if self.justification:
+            payload["justification"] = self.justification
+        return payload
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered findings loaded from / saved to JSON."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != FORMAT_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        fingerprint=str(raw["fingerprint"]),
+                        code=str(raw["code"]),
+                        path=str(raw["path"]),
+                        line_text=str(raw.get("line_text", "")),
+                        count=int(raw.get("count", 1)),
+                        justification=str(raw.get("justification", "")),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BaselineError(
+                    f"baseline {path} has a malformed entry {raw!r}: {exc}"
+                ) from exc
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": FORMAT_VERSION,
+            "entries": [e.to_json() for e in sorted(
+                self.entries, key=lambda e: (e.path, e.code, e.line_text)
+            )],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Sequence[Finding],
+        line_texts: Dict[str, str],
+        previous: "Baseline" = None,  # type: ignore[assignment]
+    ) -> "Baseline":
+        """Build a baseline covering ``findings``.
+
+        ``line_texts`` maps fingerprint → stripped source line (for the
+        human-readable ``line_text`` field).  Justifications are carried
+        over from ``previous`` by fingerprint so regenerating a baseline
+        never loses curation.
+        """
+        carried: Dict[str, str] = {}
+        if previous is not None:
+            carried = {
+                e.fingerprint: e.justification
+                for e in previous.entries
+                if e.justification
+            }
+        counts: Counter = Counter(f.fingerprint for f in findings)
+        by_fp: Dict[str, Finding] = {}
+        for f in findings:
+            by_fp.setdefault(f.fingerprint, f)
+        entries = [
+            BaselineEntry(
+                fingerprint=fp,
+                code=by_fp[fp].code,
+                path=by_fp[fp].path,
+                line_text=line_texts.get(fp, ""),
+                count=count,
+                justification=carried.get(fp, ""),
+            )
+            for fp, count in counts.items()
+        ]
+        return cls(entries=entries)
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+        """Split findings into (new, baselined_count, stale_entries).
+
+        Each baseline entry absorbs up to ``count`` findings with its
+        fingerprint; the remainder are *new* and should fail the gate.
+        Entries with leftover capacity are *stale* — the violation they
+        grandfathered no longer exists and they should be deleted.
+        """
+        capacity: Counter = Counter()
+        for entry in self.entries:
+            capacity[entry.fingerprint] += max(0, entry.count)
+        new: List[Finding] = []
+        baselined = 0
+        for finding in findings:
+            if capacity.get(finding.fingerprint, 0) > 0:
+                capacity[finding.fingerprint] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        stale = [e for e in self.entries if capacity.get(e.fingerprint, 0) > 0]
+        # Multiple entries can share a fingerprint only through hand
+        # editing; report each at most once.
+        seen = set()
+        unique_stale = []
+        for entry in stale:
+            if entry.fingerprint not in seen:
+                seen.add(entry.fingerprint)
+                unique_stale.append(entry)
+        return new, baselined, unique_stale

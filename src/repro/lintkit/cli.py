@@ -1,0 +1,196 @@
+"""Command-line front end: ``python -m repro.lintkit [paths]``.
+
+Exit codes (stable contract, asserted by ``tests/lintkit/test_cli.py``):
+
+* ``0`` — no non-baselined findings;
+* ``1`` — at least one new finding (or, with ``--strict-baseline``, a
+  stale baseline entry);
+* ``2`` — usage error (unknown rule code, missing path, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import Baseline, BaselineError
+from .context import FileContext, Finding
+from .engine import lint_paths
+from .registry import all_rules
+from .reporters import render_json, render_text
+
+EXIT_OK = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+#: Baseline picked up automatically when it exists next to the cwd.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+#: Paths linted when none are given (the repo's own gate).
+DEFAULT_PATHS = ("src", "tests", "tools", "benchmarks", "examples")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lintkit",
+        description="Repo-specific static analysis (rules RPL001-RPL005).",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to cover all current findings "
+        "(justifications on unchanged entries are preserved) and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline", action="store_true",
+        help="also fail (exit 1) on stale baseline entries",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--root", metavar="DIR", default=".",
+        help="repository root findings are reported relative to "
+        "(default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in all_rules():
+        lines.append(f"{cls.code}  {cls.name}")
+        lines.append(f"    {cls.description}")
+    return "\n".join(lines)
+
+
+def _codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_OK
+
+    root = Path(args.root)
+    raw_paths = args.paths or [
+        p for p in DEFAULT_PATHS if (root / p).exists()
+    ]
+    paths = [Path(p) for p in raw_paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"error: no such file or directory: "
+            f"{', '.join(str(p) for p in missing)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    try:
+        findings, contexts = lint_paths(
+            paths, root, select=_codes(args.select), ignore=_codes(args.ignore)
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        elif (root / DEFAULT_BASELINE).exists() or args.write_baseline:
+            baseline_path = root / DEFAULT_BASELINE
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("error: --write-baseline needs --baseline or a repo root",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        previous = None
+        if baseline_path.exists():
+            try:
+                previous = Baseline.load(baseline_path)
+            except BaselineError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return EXIT_USAGE
+        line_texts = _line_texts(findings, contexts)
+        Baseline.from_findings(findings, line_texts, previous).save(baseline_path)
+        print(
+            f"wrote {baseline_path} covering {len(findings)} finding(s); "
+            "add a justification to every entry"
+        )
+        return EXIT_OK
+
+    baselined = 0
+    stale: List = []
+    if baseline_path is not None and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        findings, baselined, stale = baseline.apply(findings)
+
+    renderer = render_json if args.format == "json" else render_text
+    report = renderer(
+        findings, files=len(contexts), baselined=baselined, stale=stale
+    )
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+
+    if findings:
+        return EXIT_FINDINGS
+    if stale and args.strict_baseline:
+        return EXIT_FINDINGS
+    return EXIT_OK
+
+
+def _line_texts(
+    findings: Sequence[Finding], contexts: Sequence[FileContext]
+) -> Dict[str, str]:
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    texts: Dict[str, str] = {}
+    for f in findings:
+        ctx = by_rel.get(f.path)
+        if ctx is not None:
+            texts[f.fingerprint] = ctx.line_text(f.line).strip()
+    return texts

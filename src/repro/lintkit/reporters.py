@@ -1,0 +1,102 @@
+"""Text and JSON reporters.
+
+The JSON schema (version 1) is a stable contract asserted by
+``tests/lintkit/test_reporters.py`` — CI uploads the payload as an
+artifact, so downstream tooling may rely on every key below::
+
+    {
+      "version": 1,
+      "tool": "repro.lintkit",
+      "findings": [
+        {"code": "...", "path": "...", "line": N, "col": N,
+         "message": "...", "fingerprint": "..."}
+      ],
+      "summary": {
+        "files": N, "total": N, "new": N, "baselined": N,
+        "by_code": {"RPL001": N, ...}
+      },
+      "stale_baseline": [{"fingerprint": "...", "path": "...",
+                          "code": "..."}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from .baseline import BaselineEntry
+from .context import Finding
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(
+    new_findings: Sequence[Finding],
+    *,
+    files: int,
+    baselined: int,
+    stale: Sequence[BaselineEntry] = (),
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines: List[str] = []
+    for f in new_findings:
+        lines.append(f"{f.location()}: {f.code} {f.message}")
+    by_code = Counter(f.code for f in new_findings)
+    summary = (
+        f"{len(new_findings)} finding(s) in {files} file(s)"
+        + (f", {baselined} baselined" if baselined else "")
+    )
+    if by_code:
+        summary += " [" + ", ".join(
+            f"{code}: {count}" for code, count in sorted(by_code.items())
+        ) + "]"
+    lines.append(summary)
+    for entry in stale:
+        lines.append(
+            f"stale baseline entry {entry.fingerprint} "
+            f"({entry.code} {entry.path}) — violation no longer exists; "
+            "remove it or regenerate with --write-baseline"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    new_findings: Sequence[Finding],
+    *,
+    files: int,
+    baselined: int,
+    stale: Sequence[BaselineEntry] = (),
+) -> str:
+    """The stable machine-readable report (see module docstring)."""
+    by_code: Dict[str, int] = dict(
+        sorted(Counter(f.code for f in new_findings).items())
+    )
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "tool": "repro.lintkit",
+        "findings": [
+            {
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in new_findings
+        ],
+        "summary": {
+            "files": files,
+            "total": len(new_findings) + baselined,
+            "new": len(new_findings),
+            "baselined": baselined,
+            "by_code": by_code,
+        },
+        "stale_baseline": [
+            {"fingerprint": e.fingerprint, "path": e.path, "code": e.code}
+            for e in stale
+        ],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,79 @@
+"""RPL001 — bare SI conversion literals outside ``repro.units``.
+
+The library computes internally in SI units; conversions belong in
+:mod:`repro.units` so they are grep-able, validated, and single-sourced
+(the Hefeida stochastic-WLD work is a case study in how silently
+mismatched unit coefficients corrupt wire-length models).  This rule
+flags power-of-ten literals from the SI-prefix conversion set when they
+appear as a *multiplicative* operand — ``feature / 1e-9``,
+``area * 1e6`` — anywhere outside ``repro.units``.
+
+Additive uses are exempt on purpose: ``capacity * (1 + 1e-12)`` and
+``ceil(low - 1e-12)`` are numerical tolerances, not unit conversions,
+and the two populations separate cleanly on that syntactic axis.
+Non-conversion magnitudes (``2e-6``, ``1e-4``) are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext, Finding
+from ..registry import Rule, register
+
+#: Literal values treated as SI-prefix conversion factors.  1e±3 is
+#: excluded: milli-scale literals are overwhelmingly display scalings
+#: (ms, mW) whose false-positive rate would swamp the signal.
+CONVERSION_VALUES = frozenset(
+    {1e-15, 1e-12, 1e-9, 1e-6, 1e6, 1e9, 1e12, 1e15}
+)
+
+#: Modules/files exempt because they *define* the conversion constants.
+EXEMPT_MODULES = ("repro.units",)
+
+
+@register
+class UnitLiteralRule(Rule):
+    code = "RPL001"
+    name = "unit-literal"
+    description = (
+        "Bare SI conversion literal (1e-6, 1e-9, 1e-15, ...) used "
+        "multiplicatively outside repro.units; route it through the "
+        "named constants/helpers (UM, NM, FF, to_um, MEGA, ...) so "
+        "every unit conversion in the repo is grep-able and validated."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or ctx.in_module(*EXEMPT_MODULES):
+            return
+        parents = ctx.parent_map()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            # Only float literals: integer multiplications (n * 1000000)
+            # are counts, not unit conversions.
+            if not isinstance(value, float) or value not in CONVERSION_VALUES:
+                continue
+            # Look through a unary sign to the enclosing expression.
+            child: ast.AST = node
+            parent = parents.get(child)
+            while isinstance(parent, ast.UnaryOp) and isinstance(
+                parent.op, (ast.UAdd, ast.USub)
+            ):
+                child = parent
+                parent = parents.get(child)
+            if not isinstance(parent, ast.BinOp):
+                continue
+            if not isinstance(parent.op, (ast.Mult, ast.Div)):
+                continue
+            if child is not parent.left and child is not parent.right:
+                continue
+            yield ctx.finding(
+                node,
+                self.code,
+                f"bare SI conversion literal {value!r} in arithmetic; "
+                "use the named repro.units constants (UM, NM, FF, MEGA, "
+                "...) or helpers (um(), to_um(), ...) instead",
+            )

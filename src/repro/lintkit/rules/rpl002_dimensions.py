@@ -1,0 +1,236 @@
+"""RPL002 — unit-suffix dimension consistency across call sites.
+
+Functions in the physical-model layers (``repro.delay``, ``repro.rc``,
+``repro.tech``) may carry unit suffixes on parameter names, return-value
+naming, or the function name itself — ``length_m``, ``min_delay_s``,
+``clock_hz``.  This rule builds a lightweight signature database from
+those definitions in a pre-pass, then checks every call site in the
+linted set: an argument whose *own* name carries a unit suffix of a
+different physical dimension than the parameter it binds to is flagged
+(``wire_delay(length_m=rise_time_s)``), as is assigning a
+suffix-returning function to a name of a different dimension
+(``length_m = total_delay_s(...)``).
+
+Dimensions, not scales: the repo is SI-internal, so any non-SI scale
+suffix (``_um``, ``_ps``) binding an SI-suffixed parameter is *also*
+flagged — a micron-scaled value flowing into a metres parameter is
+exactly the silent corruption this rule exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..context import FileContext, Finding
+from ..registry import Rule, register
+
+#: Packages whose function definitions seed the signature database.
+MODEL_PACKAGES = ("repro.delay", "repro.rc", "repro.tech")
+
+#: suffix → (dimension, SI?).  Suffixes are matched against the final
+#: ``_``-separated segment of an identifier.
+UNIT_SUFFIXES: Dict[str, Tuple[str, bool]] = {
+    "m": ("length", True),
+    "um": ("length", False),
+    "nm": ("length", False),
+    "mm": ("length", False),
+    "m2": ("area", True),
+    "um2": ("area", False),
+    "mm2": ("area", False),
+    "s": ("time", True),
+    "ps": ("time", False),
+    "ns": ("time", False),
+    "us": ("time", False),
+    "hz": ("frequency", True),
+    "mhz": ("frequency", False),
+    "ghz": ("frequency", False),
+    "ohm": ("resistance", True),
+    "f": ("capacitance", True),
+    "ff": ("capacitance", False),
+    "pf": ("capacitance", False),
+}
+
+
+def suffix_dimension(identifier: str) -> Optional[Tuple[str, str, bool]]:
+    """``(suffix, dimension, is_si)`` when ``identifier`` ends in a unit
+    suffix, else ``None``.  The suffix must be a proper trailing segment
+    (``length_m`` yes; ``m`` alone, ``alarm`` no)."""
+    if "_" not in identifier:
+        return None
+    head, _, tail = identifier.rpartition("_")
+    if not head or tail not in UNIT_SUFFIXES:
+        return None
+    dimension, is_si = UNIT_SUFFIXES[tail]
+    return tail, dimension, is_si
+
+
+class _Signature:
+    """Unit-suffix view of one model-layer function."""
+
+    def __init__(
+        self,
+        qualname: str,
+        positional: List[str],
+        kwonly: List[str],
+        has_varargs: bool,
+        return_suffix: Optional[Tuple[str, str, bool]],
+    ) -> None:
+        self.qualname = qualname
+        self.positional = positional
+        self.params = positional + kwonly
+        self.param_suffix = {p: suffix_dimension(p) for p in self.params}
+        self.has_varargs = has_varargs
+        self.return_suffix = return_suffix
+
+    @property
+    def carries_units(self) -> bool:
+        return self.return_suffix is not None or any(
+            s is not None for s in self.param_suffix.values()
+        )
+
+
+@register
+class DimensionRule(Rule):
+    code = "RPL002"
+    name = "dimension-annotation"
+    description = (
+        "Unit-suffixed names (_m, _s, _hz, _ohm, _f, ...) must bind "
+        "consistently: an argument named with one physical dimension "
+        "must not flow into a model-layer parameter suffixed with "
+        "another, and non-SI scale suffixes (_um, _ps) must not bind "
+        "SI-suffixed parameters — the repo computes SI-internal."
+    )
+
+    def __init__(self) -> None:
+        self._db: Dict[str, Optional[_Signature]] = {}
+
+    # ------------------------------------------------------------------
+    # Pre-pass: signature database over the model packages
+    # ------------------------------------------------------------------
+
+    def prepare(self, contexts: Sequence[FileContext]) -> None:
+        for ctx in contexts:
+            if ctx.tree is None or not ctx.in_module(*MODEL_PACKAGES):
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if node.name.startswith("_"):
+                    continue
+                args = node.args
+                params = [a.arg for a in args.posonlyargs + args.args]
+                kwonly = [a.arg for a in args.kwonlyargs]
+                sig = _Signature(
+                    qualname=f"{ctx.module}.{node.name}",
+                    positional=params,
+                    kwonly=kwonly,
+                    has_varargs=args.vararg is not None,
+                    return_suffix=suffix_dimension(node.name),
+                )
+                if not sig.carries_units:
+                    continue
+                if node.name in self._db and self._db[node.name] is not None:
+                    other = self._db[node.name]
+                    if other is not None and other.qualname != sig.qualname:
+                        # Name collision across modules: ambiguous at a
+                        # bare-name call site, so stand down for it.
+                        self._db[node.name] = None
+                        continue
+                self._db[node.name] = sig
+
+    # ------------------------------------------------------------------
+    # Per-file check
+    # ------------------------------------------------------------------
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or not self._db:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_assign(ctx, node)
+
+    def _lookup(self, func: ast.AST) -> Optional[_Signature]:
+        if isinstance(func, ast.Name):
+            return self._db.get(func.id)
+        if isinstance(func, ast.Attribute):
+            return self._db.get(func.attr)
+        return None
+
+    @staticmethod
+    def _arg_name(expr: ast.AST) -> Optional[str]:
+        if isinstance(expr, ast.Name):
+            return expr.id
+        if isinstance(expr, ast.Attribute):
+            return expr.attr
+        return None
+
+    def _check_call(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        sig = self._lookup(call.func)
+        if sig is None:
+            return
+        positional: List[str] = sig.positional
+        if positional and positional[0] in ("self", "cls") and isinstance(
+            call.func, ast.Attribute
+        ):
+            positional = positional[1:]
+        bindings: List[Tuple[str, ast.AST]] = []
+        if not sig.has_varargs and not any(
+            isinstance(a, ast.Starred) for a in call.args
+        ):
+            for param, arg in zip(positional, call.args):
+                bindings.append((param, arg))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in sig.param_suffix:
+                bindings.append((kw.arg, kw.value))
+        for param, arg in bindings:
+            param_info = sig.param_suffix.get(param)
+            if param_info is None:
+                continue
+            name = self._arg_name(arg)
+            if name is None:
+                continue
+            arg_info = suffix_dimension(name)
+            if arg_info is None:
+                continue
+            p_suffix, p_dim, _p_si = param_info
+            a_suffix, a_dim, _a_si = arg_info
+            if a_suffix == p_suffix:
+                continue
+            if a_dim != p_dim:
+                problem = f"dimension mismatch ({a_dim} vs {p_dim})"
+            else:
+                problem = f"unit-scale mismatch (_{a_suffix} vs _{p_suffix})"
+            yield ctx.finding(
+                arg,
+                self.code,
+                f"argument '{name}' bound to parameter '{param}' of "
+                f"{sig.qualname}: {problem}; convert via repro.units or "
+                "rename to the parameter's unit suffix",
+            )
+
+    def _check_assign(self, ctx: FileContext, node: ast.Assign) -> Iterator[Finding]:
+        if len(node.targets) != 1 or not isinstance(node.targets[0], ast.Name):
+            return
+        if not isinstance(node.value, ast.Call):
+            return
+        sig = self._lookup(node.value.func)
+        if sig is None or sig.return_suffix is None:
+            return
+        target = node.targets[0].id
+        target_info = suffix_dimension(target)
+        if target_info is None:
+            return
+        r_suffix, r_dim, _ = sig.return_suffix
+        t_suffix, t_dim, _ = target_info
+        if t_suffix == r_suffix or t_dim == r_dim:
+            return
+        yield ctx.finding(
+            node.targets[0],
+            self.code,
+            f"result of {sig.qualname} (unit _{r_suffix}, {r_dim}) "
+            f"assigned to '{target}' ({t_dim}); rename the target or "
+            "convert via repro.units",
+        )

@@ -1,0 +1,120 @@
+"""RPL005 — guarded observability in hot paths.
+
+The observability contract (PR 3) is *near-zero overhead when
+disabled*: hot-path code publishes through the module-level guarded
+helpers (:func:`repro.obs.metrics.inc` / ``gauge`` / ``observe`` or
+``metrics_enabled()``-gated blocks), never through the registry object
+directly — ``registry().inc(...)`` pays the lock and dict update even
+when observability is off.
+
+Inside the hot-path packages (``repro.core``, ``repro.assign``,
+``repro.delay``) this rule flags:
+
+* importing ``registry``, ``_REGISTRY``, or ``MetricsRegistry`` from
+  :mod:`repro.obs.metrics` (hot paths have no business holding the
+  registry — that is for reporters and aggregators);
+* publish calls on a registry obtained inline:
+  ``registry().inc(...)``, ``metrics.registry().observe(...)``;
+* publish calls on the private global: ``_REGISTRY.inc(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..context import FileContext, Finding
+from ..registry import Rule, register
+
+#: Packages whose per-solve / per-transition code is the hot path.
+HOT_PACKAGES = ("repro.core", "repro.assign", "repro.delay")
+
+#: Publishing methods on MetricsRegistry.
+PUBLISH_METHODS = ("inc", "gauge", "observe")
+
+#: Names whose import into a hot path defeats the guard.
+FORBIDDEN_IMPORTS = ("registry", "_REGISTRY", "MetricsRegistry")
+
+
+@register
+class ObsGuardRule(Rule):
+    code = "RPL005"
+    name = "obs-guard"
+    description = (
+        "Hot paths (core/, assign/, delay/) must publish metrics through "
+        "the guarded repro.obs helpers (inc/gauge/observe, or blocks "
+        "gated on metrics_enabled()), never through the registry object "
+        "— unguarded publishing pays lock+dict cost with metrics off."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or not ctx.in_module(*HOT_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                finding = self._check_publish(ctx, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_import(
+        self, ctx: FileContext, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        module = node.module or ""
+        if not (
+            module.endswith("obs.metrics")
+            or module.endswith("obs")
+            or module == "metrics"
+        ):
+            return
+        for alias in node.names:
+            if alias.name in FORBIDDEN_IMPORTS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"hot-path import of '{alias.name}' from repro.obs."
+                    "metrics; import the guarded helpers (inc, gauge, "
+                    "observe, metrics_enabled) instead",
+                )
+
+    def _check_publish(self, ctx: FileContext, call: ast.Call) -> Optional[Finding]:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in PUBLISH_METHODS:
+            return None
+        receiver = func.value
+        # registry().inc(...) / obs.metrics.registry().observe(...)
+        if isinstance(receiver, ast.Call):
+            inner = receiver.func
+            inner_name = (
+                inner.id
+                if isinstance(inner, ast.Name)
+                else inner.attr
+                if isinstance(inner, ast.Attribute)
+                else None
+            )
+            if inner_name == "registry":
+                return ctx.finding(
+                    call,
+                    self.code,
+                    f"unguarded 'registry().{func.attr}(...)' in a hot "
+                    "path; use the guarded module helper "
+                    f"'{func.attr}(...)' from repro.obs.metrics",
+                )
+        # _REGISTRY.inc(...)
+        name = (
+            receiver.id
+            if isinstance(receiver, ast.Name)
+            else receiver.attr
+            if isinstance(receiver, ast.Attribute)
+            else None
+        )
+        if name == "_REGISTRY":
+            return ctx.finding(
+                call,
+                self.code,
+                f"unguarded '_REGISTRY.{func.attr}(...)' in a hot path; "
+                f"use the guarded module helper '{func.attr}(...)' from "
+                "repro.obs.metrics",
+            )
+        return None

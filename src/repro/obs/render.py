@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List
 
+from ..units import to_us
+
 
 def _format_seconds(seconds) -> str:
     if seconds is None:
@@ -19,7 +21,7 @@ def _format_seconds(seconds) -> str:
         return f"{seconds:.3f} s"
     if seconds >= 1e-3:
         return f"{seconds * 1e3:.3f} ms"
-    return f"{seconds * 1e6:.1f} us"
+    return f"{to_us(seconds):.1f} us"
 
 
 def format_metrics(snapshot: dict) -> str:

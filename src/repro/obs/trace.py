@@ -32,6 +32,7 @@ import time
 from typing import Dict, List, Optional
 
 from . import metrics as _metrics
+from ..units import to_us
 
 #: Event-phase values this library emits / accepts when validating.
 VALID_PHASES = frozenset({"X", "B", "E", "i", "I", "C", "M"})
@@ -119,8 +120,8 @@ class Span:
                 "name": self.name,
                 "cat": "repro",
                 "ph": "X",
-                "ts": self._start * 1e6,
-                "dur": duration * 1e6,
+                "ts": to_us(self._start),
+                "dur": to_us(duration),
                 "pid": os.getpid(),
                 "tid": threading.get_ident() % 2**31,
             }

@@ -8,12 +8,16 @@ delay, rank) reads interconnect electricals exclusively through it.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 from ..errors import ConfigurationError
 from ..tech.materials import Conductor, Dielectric
 from ..tech.node import MetalRule
 from .capacitance import CapacitanceModel, total_capacitance_per_length
 from .resistance import resistance_per_length
+
+if TYPE_CHECKING:  # numpy loads lazily in stack_rc_arrays below
+    import numpy as np
 
 
 @dataclass(frozen=True)
@@ -83,7 +87,7 @@ class RCArrays:
         return int(self.resistance.size)
 
 
-def stack_rc_arrays(rcs) -> RCArrays:
+def stack_rc_arrays(rcs: Iterable[WireRC]) -> RCArrays:
     """Stack an iterable of :class:`WireRC` into one :class:`RCArrays`."""
     import numpy as np
 

@@ -14,6 +14,7 @@ from typing import List, Sequence
 from ..analysis.compare import NodeBaseline
 from ..analysis.sensitivity import EquivalencePoint
 from ..analysis.sweep import SweepResult
+from ..units import MEGA
 from .text import format_table
 
 #: Human-readable labels for the Table 4 knobs.
@@ -77,7 +78,7 @@ def format_node_table(baselines: Sequence[NodeBaseline], title: str = "") -> str
     for base in baselines:
         rows.append(
             (
-                f"{base.node_name}/{base.gate_count / 1e6:g}M",
+                f"{base.node_name}/{base.gate_count / MEGA:g}M",
                 base.result.rank,
                 f"{base.normalized:.6f}",
                 "yes" if base.result.fits else "NO",

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import List
 
 from ..errors import ConfigurationError
+from ..units import to_nm
 from .device import DeviceParameters
 from .node import TechnologyNode, ViaRule
 
@@ -55,7 +56,7 @@ def project_node(
 
     s = shrink ** generations
     feature = base.feature_size * s
-    name = f"{feature / 1e-9:.0f}nm-projected"
+    name = f"{to_nm(feature):.0f}nm-projected"
 
     metal_rules = {
         tier: rule.scaled(s) for tier, rule in base.metal_rules.items()

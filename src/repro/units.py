@@ -26,6 +26,8 @@ MM = 1.0e-3
 PS = 1.0e-12
 #: seconds per nanosecond
 NS = 1.0e-9
+#: seconds per microsecond
+US = 1.0e-6
 
 #: hertz per megahertz
 MHZ = 1.0e6
@@ -36,6 +38,19 @@ GHZ = 1.0e9
 FF = 1.0e-15
 #: farads per picofarad
 PF = 1.0e-12
+
+# Plain SI scale prefixes, for report formatting of quantities the
+# library does not model as first-class dimensions (gate counts in
+# millions, power in nanowatts, ...).  Using these instead of bare
+# ``1e6`` literals keeps every power-of-ten scaling grep-able, which is
+# what the RPL001 lint rule (repro.lintkit) enforces.
+NANO = 1.0e-9
+MICRO = 1.0e-6
+MILLI = 1.0e-3
+KILO = 1.0e3
+MEGA = 1.0e6
+GIGA = 1.0e9
+TERA = 1.0e12
 
 
 def _require_non_negative(value: float, what: str) -> float:
@@ -52,6 +67,11 @@ def um(value: float) -> float:
 def nm(value: float) -> float:
     """Convert nanometres to metres (non-negative)."""
     return _require_non_negative(value, "length in nm") * NM
+
+
+def to_nm(metres: float) -> float:
+    """Convert metres to nanometres."""
+    return metres / NM
 
 
 def mm(value: float) -> float:
@@ -106,6 +126,11 @@ def to_ps(seconds: float) -> float:
 def to_ns(seconds: float) -> float:
     """Convert seconds to nanoseconds."""
     return seconds / NS
+
+
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / US
 
 
 def mhz(value: float) -> float:

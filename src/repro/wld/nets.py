@@ -19,8 +19,9 @@ Distances are Manhattan in gate pitches, matching the WLD convention.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..errors import WLDError
 from .distribution import WireLengthDistribution
@@ -119,6 +120,7 @@ def synthetic_netlist(
     locality: float = 0.1,
     mean_fanout: float = 3.0,
     seed: int = 2003,
+    rng: Optional[random.Random] = None,
 ) -> List[Net]:
     """A synthetic locality-driven netlist on a square gate grid.
 
@@ -139,10 +141,16 @@ def synthetic_netlist(
     mean_fanout:
         Mean of the (shifted-geometric) fanout distribution, >= 1.
     seed:
-        RNG seed.
+        Seed for the internally-constructed RNG (ignored when ``rng``
+        is given).
+    rng:
+        Injected pre-seeded :class:`random.Random`.  Callers threading
+        one RNG through a larger reproducible experiment pass it here;
+        by default a fresh ``random.Random(seed)`` keeps this function
+        a pure function of its arguments (the determinism contract
+        lintkit rule RPL003 enforces — never the process-global
+        ``random`` module).
     """
-    import random
-
     if gate_count < 4:
         raise WLDError(f"need at least 4 gates, got {gate_count!r}")
     if net_count < 1:
@@ -152,7 +160,8 @@ def synthetic_netlist(
     if mean_fanout < 1.0:
         raise WLDError(f"mean_fanout must be >= 1, got {mean_fanout!r}")
 
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     side = int(gate_count ** 0.5)
     scale = max(1.0, locality * side)
 
@@ -173,7 +182,7 @@ def synthetic_netlist(
     return nets
 
 
-def _geometric(rng, mean: float) -> int:
+def _geometric(rng: random.Random, mean: float) -> int:
     """Geometric variate with the given mean (0 when mean <= 0)."""
     if mean <= 0:
         return 0
@@ -184,7 +193,7 @@ def _geometric(rng, mean: float) -> int:
     return count
 
 
-def _signed_offset(rng, scale: float) -> float:
+def _signed_offset(rng: random.Random, scale: float) -> float:
     """Symmetric geometric-tailed integer offset with unit minimum."""
     magnitude = 1 + _geometric(rng, scale - 1.0)
     return magnitude if rng.random() < 0.5 else -magnitude

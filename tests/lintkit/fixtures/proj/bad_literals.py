@@ -1,0 +1,18 @@
+"""RPL001 fixture: every violation and every deliberate non-violation."""
+
+
+def violations(feature, area, seconds, farads):
+    a = feature / 1e-9        # flagged: division by a conversion literal
+    b = area * 1e6            # flagged: multiplication
+    c = seconds * -1e12       # flagged: sign looked through
+    d = 1e-15 * farads        # flagged: literal on the left
+    return a, b, c, d
+
+
+def non_violations(count, low, capacity, value):
+    e = count * 1000000       # int literal: a count, never flagged
+    f = low - 1e-12           # additive tolerance, exempt
+    g = capacity * (1 + 1e-12)  # tolerance inside the product, exempt
+    h = value * 2e-6          # not a conversion magnitude
+    i = 1e-9                  # bare constant, no arithmetic
+    return e, f, g, h, i

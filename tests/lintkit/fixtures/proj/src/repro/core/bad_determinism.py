@@ -1,0 +1,35 @@
+"""RPL003 fixture: every class of nondeterminism the rule flags."""
+
+import random
+import time
+from time import time as now
+
+import numpy as np
+
+
+def wall_clock():
+    a = time.time()          # flagged: wall clock
+    b = time.time_ns()       # flagged: wall clock
+    c = now()                # flagged: from-imported wall clock
+    return a, b, c
+
+
+def global_rng():
+    x = random.random()      # flagged: process-global RNG
+    y = random.randint(0, 9)  # flagged: process-global RNG
+    z = np.random.rand(3)    # flagged: numpy legacy global RNG
+    return x, y, z
+
+
+def unseeded():
+    r = random.Random()          # flagged: unseeded constructor
+    g = np.random.default_rng()  # flagged: unseeded constructor
+    s = random.SystemRandom()    # flagged: nondeterministic by design
+    return r, g, s
+
+
+def set_order(items):
+    for item in {1, 2, 3}:   # flagged: set iteration
+        pass
+    order = list(set(items))  # flagged: hash-order materialisation
+    return order

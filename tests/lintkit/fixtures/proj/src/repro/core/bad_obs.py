@@ -1,0 +1,10 @@
+"""RPL005 fixture: unguarded observability in a hot path."""
+
+from repro.obs.metrics import registry  # flagged: registry import
+from repro.obs.metrics import _REGISTRY  # flagged: private global import
+
+
+def publish(n):
+    registry().inc("solver.calls")        # flagged: unguarded publish
+    registry().observe("solver.ms", n)    # flagged: unguarded publish
+    _REGISTRY.gauge("solver.depth", n)    # flagged: private-global publish

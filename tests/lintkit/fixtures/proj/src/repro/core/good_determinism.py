@@ -1,0 +1,25 @@
+"""RPL003 fixture: the approved spellings — none of these are flagged."""
+
+import random
+import time
+
+import numpy as np
+
+
+def deadlines():
+    start = time.monotonic()      # deadlines/metrics are fine
+    lap = time.perf_counter()
+    return start, lap
+
+
+def seeded(seed):
+    r = random.Random(seed)       # seeded constructor passes
+    g = np.random.default_rng(seed)
+    return r.random(), g.random()
+
+
+def pinned_order(items):
+    ordered = sorted(set(items))  # sorted() pins the order
+    for item in ordered:
+        pass
+    return ordered

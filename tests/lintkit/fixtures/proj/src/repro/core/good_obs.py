@@ -1,0 +1,10 @@
+"""RPL005 fixture: the guarded helpers — none of these are flagged."""
+
+from repro.obs.metrics import inc, metrics_enabled, observe
+
+
+def publish(n):
+    inc("solver.calls")            # guarded module helper
+    observe("solver.ms", n)
+    if metrics_enabled():          # explicit gate is also fine
+        observe("solver.extra", n)

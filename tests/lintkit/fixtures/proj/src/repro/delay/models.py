@@ -1,0 +1,22 @@
+"""RPL002 fixture: unit-suffixed model-layer signatures (the pre-pass
+seeds its database from these definitions) plus good and bad call sites.
+"""
+
+
+def wire_delay_s(length_m, clock_hz=None):
+    return length_m * 1.0 if clock_hz is None else length_m / clock_hz
+
+
+def _private_helper(length_m):  # underscore-private: never enters the DB
+    return length_m
+
+
+def call_sites(span_m, rise_time_s, length_um, load, clock_hz):
+    good = wire_delay_s(span_m)                 # suffix matches: fine
+    also_good = wire_delay_s(load)              # unsuffixed arg: fine
+    bad_dim = wire_delay_s(rise_time_s)         # flagged: time into length
+    bad_kw = wire_delay_s(length_m=clock_hz)    # flagged: frequency into length
+    bad_scale = wire_delay_s(length_um)         # flagged: _um into _m (scale)
+    delay_s = wire_delay_s(span_m)              # return suffix matches: fine
+    span2_m = wire_delay_s(span_m)              # flagged: time result into _m name
+    return good, also_good, bad_dim, bad_kw, bad_scale, delay_s, span2_m

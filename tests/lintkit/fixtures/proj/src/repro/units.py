@@ -1,0 +1,8 @@
+"""RPL001 fixture: the defining module is exempt by design."""
+
+NM = 1.0e-9
+UM = 1.0e-6
+
+
+def to_um(meters):
+    return meters / 1e-6  # not flagged: repro.units defines conversions

@@ -1,0 +1,9 @@
+"""noqa fixture: inline suppression forms."""
+
+
+def suppressed(feature, area, volume):
+    a = feature / 1e-9  # noqa
+    b = area * 1e6  # noqa: RPL001
+    c = volume * 1e12  # noqa: RPL002, RPL001
+    d = feature * 1e-6  # noqa: RPL004  (wrong code: finding survives)
+    return a, b, c, d

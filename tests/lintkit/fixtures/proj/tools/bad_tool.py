@@ -1,0 +1,6 @@
+"""RPL004 fixture: absolute internal imports from the tools layer."""
+
+import repro.core  # flagged
+from repro.assign.tables import AssignmentTables  # flagged
+
+__all__ = ["repro", "AssignmentTables"]

@@ -1,0 +1,13 @@
+"""RPL004 fixture: facade imports and TYPE_CHECKING-only internals pass."""
+
+from typing import TYPE_CHECKING
+
+from repro.api import compute_rank  # the facade is the supported surface
+
+if TYPE_CHECKING:
+    from repro.core.problem import RankProblem  # typing-only: exempt
+    from repro.assign.tables import AssignmentTables  # typing-only: exempt
+
+
+def run(problem: "RankProblem") -> object:
+    return compute_rank(problem)

@@ -1,0 +1,147 @@
+"""Baseline round-trip, capacity semantics, staleness, justifications."""
+
+import json
+
+import pytest
+
+from repro.lintkit import Baseline, lint_paths
+from repro.lintkit.baseline import BaselineEntry, BaselineError
+
+from .conftest import PROJ
+
+
+def lint_literals():
+    findings, contexts = lint_paths(
+        [PROJ / "bad_literals.py"], PROJ, select=["RPL001"]
+    )
+    texts = {
+        f.fingerprint: contexts[0].line_text(f.line).strip() for f in findings
+    }
+    return findings, texts
+
+
+class TestRoundTrip:
+    def test_save_load_apply_absorbs_everything(self, tmp_path):
+        findings, texts = lint_literals()
+        baseline = Baseline.from_findings(findings, texts)
+        path = tmp_path / "bl.json"
+        baseline.save(path)
+
+        loaded = Baseline.load(path)
+        new, baselined, stale = loaded.apply(findings)
+        assert new == []
+        assert baselined == len(findings)
+        assert stale == []
+
+    def test_fixed_violation_reported_stale(self, tmp_path):
+        findings, texts = lint_literals()
+        baseline = Baseline.from_findings(findings, texts)
+        new, baselined, stale = baseline.apply(findings[:-1])
+        assert new == []
+        assert baselined == len(findings) - 1
+        assert [e.fingerprint for e in stale] == [findings[-1].fingerprint]
+
+    def test_new_violation_not_absorbed(self):
+        findings, texts = lint_literals()
+        baseline = Baseline.from_findings(findings[:-1], texts)
+        new, baselined, stale = baseline.apply(findings)
+        assert [f.fingerprint for f in new] == [findings[-1].fingerprint]
+
+
+class TestFingerprints:
+    def test_line_number_independent(self):
+        from repro.lintkit.context import Finding
+
+        a = Finding("p.py", 3, 0, "RPL001", "m").with_fingerprint("x = y / 1e-9")
+        b = Finding("p.py", 99, 4, "RPL001", "m").with_fingerprint(
+            "  x = y / 1e-9  "
+        )
+        assert a.fingerprint == b.fingerprint
+
+    def test_sensitive_to_code_path_and_text(self):
+        from repro.lintkit.context import Finding
+
+        base = Finding("p.py", 1, 0, "RPL001", "m").with_fingerprint("line")
+        assert (
+            Finding("q.py", 1, 0, "RPL001", "m").with_fingerprint("line").fingerprint
+            != base.fingerprint
+        )
+        assert (
+            Finding("p.py", 1, 0, "RPL003", "m").with_fingerprint("line").fingerprint
+            != base.fingerprint
+        )
+
+
+class TestCapacity:
+    def test_identical_lines_need_matching_count(self, tmp_path):
+        src = tmp_path / "dupes.py"
+        src.write_text(
+            "def f(v):\n"
+            "    a = v / 1e-9\n"
+            "    a = v / 1e-9\n"
+            "    return a\n"
+        )
+        findings, _ = lint_paths([src], tmp_path, select=["RPL001"])
+        assert len(findings) == 2
+        fp = findings[0].fingerprint
+        assert findings[1].fingerprint == fp  # identical text, one identity
+
+        one = Baseline(entries=[BaselineEntry(fp, "RPL001", "dupes.py", "", count=1)])
+        new, baselined, stale = one.apply(findings)
+        assert len(new) == 1 and baselined == 1
+
+        two = Baseline(entries=[BaselineEntry(fp, "RPL001", "dupes.py", "", count=2)])
+        new, baselined, stale = two.apply(findings)
+        assert new == [] and baselined == 2 and stale == []
+
+
+class TestJustifications:
+    def test_carried_over_on_regeneration(self):
+        findings, texts = lint_literals()
+        first = Baseline.from_findings(findings, texts)
+        first.entries[0].justification = "because physics"
+        regenerated = Baseline.from_findings(findings, texts, previous=first)
+        by_fp = {e.fingerprint: e for e in regenerated.entries}
+        assert by_fp[first.entries[0].fingerprint].justification == "because physics"
+
+    def test_serialized_only_when_present(self, tmp_path):
+        entry = BaselineEntry("abcd", "RPL001", "p.py", "x = 1e-9 * y")
+        assert "justification" not in entry.to_json()
+        entry.justification = "why"
+        assert entry.to_json()["justification"] == "why"
+
+
+class TestErrors:
+    def test_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bl.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "bl.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "bl.json"
+        path.write_text(json.dumps({"version": 1, "entries": [{"code": "X"}]}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestCommittedBaseline:
+    def test_every_entry_is_justified(self):
+        """The repo's own baseline must stay fully justified — a bare
+        grandfathered violation is indistinguishable from an ignored
+        one."""
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        baseline = Baseline.load(repo / "lint_baseline.json")
+        assert baseline.entries, "committed baseline unexpectedly empty"
+        unjustified = [
+            e.fingerprint for e in baseline.entries if not e.justification.strip()
+        ]
+        assert unjustified == []

@@ -1,0 +1,131 @@
+"""CLI contract: exit codes, selection, baseline workflow, JSON output."""
+
+import json
+
+from repro.lintkit.cli import EXIT_FINDINGS, EXIT_OK, EXIT_USAGE, main
+
+from .conftest import PROJ
+
+BAD = str(PROJ / "bad_literals.py")
+GOOD = str(PROJ / "src" / "repro" / "core" / "good_determinism.py")
+ROOT = ["--root", str(PROJ)]
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, capsys):
+        assert main([GOOD, *ROOT]) == EXIT_OK
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main([BAD, *ROOT]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "RPL001" in out
+        assert "4 finding(s)" in out
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main([str(PROJ / "nope.py"), *ROOT]) == EXIT_USAGE
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_code_exits_two(self, capsys):
+        assert main([BAD, *ROOT, "--select", "RPL999"]) == EXIT_USAGE
+        assert "unknown rule code" in capsys.readouterr().err
+
+
+class TestSelection:
+    def test_select_narrows(self, capsys):
+        assert main([BAD, *ROOT, "--select", "RPL003"]) == EXIT_OK
+
+    def test_ignore_drops(self, capsys):
+        assert main([BAD, *ROOT, "--ignore", "RPL001"]) == EXIT_OK
+
+
+class TestListRules:
+    def test_lists_all_codes(self, capsys):
+        assert main(["--list-rules"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005"):
+            assert code in out
+
+
+class TestJSONOutput:
+    def test_report_written_to_file(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = main(
+            [BAD, *ROOT, "--format", "json", "--output", str(report)]
+        )
+        assert code == EXIT_FINDINGS
+        payload = json.loads(report.read_text())
+        assert payload["tool"] == "repro.lintkit"
+        assert payload["summary"]["new"] == 4
+        assert payload["summary"]["by_code"] == {"RPL001": 4}
+
+    def test_stdout_json(self, capsys):
+        assert main([BAD, *ROOT, "--format", "json"]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+
+
+class TestBaselineWorkflow:
+    def test_write_then_gate_passes(self, tmp_path, capsys):
+        bl = tmp_path / "bl.json"
+        assert main([BAD, *ROOT, "--baseline", str(bl), "--write-baseline"]) == EXIT_OK
+        assert "covering 4 finding(s)" in capsys.readouterr().out
+
+        assert main([BAD, *ROOT, "--baseline", str(bl)]) == EXIT_OK
+        assert "4 baselined" in capsys.readouterr().out
+
+    def test_no_baseline_flag_reports_everything(self, tmp_path, capsys):
+        bl = tmp_path / "bl.json"
+        main([BAD, *ROOT, "--baseline", str(bl), "--write-baseline"])
+        capsys.readouterr()
+        code = main([BAD, *ROOT, "--baseline", str(bl), "--no-baseline"])
+        assert code == EXIT_FINDINGS
+
+    def test_stale_entries_warn_then_fail_strict(self, tmp_path, capsys):
+        bl = tmp_path / "bl.json"
+        main([BAD, *ROOT, "--baseline", str(bl), "--write-baseline"])
+        capsys.readouterr()
+        # Gate a clean file against the stale baseline.
+        assert main([GOOD, *ROOT, "--baseline", str(bl)]) == EXIT_OK
+        assert "stale baseline entry" in capsys.readouterr().out
+        assert (
+            main([GOOD, *ROOT, "--baseline", str(bl), "--strict-baseline"])
+            == EXIT_FINDINGS
+        )
+
+    def test_regeneration_preserves_justifications(self, tmp_path, capsys):
+        bl = tmp_path / "bl.json"
+        main([BAD, *ROOT, "--baseline", str(bl), "--write-baseline"])
+        payload = json.loads(bl.read_text())
+        payload["entries"][0]["justification"] = "kept on purpose"
+        bl.write_text(json.dumps(payload))
+
+        main([BAD, *ROOT, "--baseline", str(bl), "--write-baseline"])
+        regenerated = json.loads(bl.read_text())
+        kept = [
+            e for e in regenerated["entries"]
+            if e.get("justification") == "kept on purpose"
+        ]
+        assert len(kept) == 1
+
+    def test_corrupt_baseline_exits_two(self, tmp_path, capsys):
+        bl = tmp_path / "bl.json"
+        bl.write_text("{broken")
+        assert main([BAD, *ROOT, "--baseline", str(bl)]) == EXIT_USAGE
+
+
+class TestModuleEntrypoint:
+    def test_python_dash_m_runs(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lintkit", "--list-rules"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(repo / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "RPL001" in proc.stdout

@@ -14,6 +14,7 @@ from repro.power.model import (
 )
 from repro.rc.models import WireRC
 from repro.tech.device import DeviceParameters
+from repro.units import FF
 
 FAST = dict(bunch_size=2000, repeater_units=128)
 
@@ -62,7 +63,7 @@ class TestPrimitives:
 
     def test_repeater_energy(self, device):
         energy = repeater_switching_energy(device, 50.0, 3, 1.2)
-        assert energy == pytest.approx(3 * 50 * 1.0e-15 * 1.44)
+        assert energy == pytest.approx(3 * 50 * FF * 1.44)
 
     def test_zero_stages_zero_energy(self, device):
         assert repeater_switching_energy(device, 50.0, 0, 1.2) == 0.0

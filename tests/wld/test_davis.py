@@ -58,7 +58,8 @@ class TestDensity:
 
     def test_tail_vanishes(self):
         density = davis_density(DavisParameters(gate_count=10_000))
-        assert density[-1] < 1e-6 * density[0]
+        # Relative tolerance, not a unit conversion.
+        assert density[-1] < 1e-6 * density[0]  # noqa: RPL001
 
     def test_covers_full_length_range(self):
         params = DavisParameters(gate_count=10_000)
