@@ -83,12 +83,15 @@ from .wld import (
 # alias above).
 from . import api
 from .api import (
+    FaultSchedule,
+    FaultSpec,
     PrecomputeCache,
     bench,
     budget_curve,
     compute_rank,
     corners,
     load_node,
+    parse_fault_schedule,
     sweep,
 )
 
@@ -121,6 +124,9 @@ __all__ = [
     "load_node",
     "bench",
     "PrecomputeCache",
+    "FaultSchedule",
+    "FaultSpec",
+    "parse_fault_schedule",
     # technology
     "TechnologyNode",
     "MetalRule",

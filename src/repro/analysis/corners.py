@@ -24,6 +24,8 @@ from ..errors import RankComputationError
 if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
     from pathlib import Path
 
+    from ..faultkit.schedule import FaultSchedule
+
     from ..core.precompute import PrecomputeCache
     from ..runner.journal import PointFailure, RunJournal
     from ..runner.policy import RetryPolicy
@@ -199,6 +201,7 @@ def rank_across_corners(
     jobs: int = 1,
     checkpoint_every: int = 1,
     checkpoint_interval_s: Optional[float] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
     cache: Optional["PrecomputeCache"] = None,
     backend: Optional[str] = None,
 ) -> CornerReport:
@@ -256,6 +259,7 @@ def rank_across_corners(
         jobs=jobs,
         checkpoint_every=checkpoint_every,
         checkpoint_interval_s=checkpoint_interval_s,
+        fault_schedule=fault_schedule,
     )
     results: List[Tuple[Corner, RankResult]] = [
         (corner, outcome.results[corner.name])

@@ -26,6 +26,8 @@ from ..errors import RankComputationError
 if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
     from pathlib import Path
 
+    from ..faultkit.schedule import FaultSchedule
+
     from ..core.precompute import PrecomputeCache
     from ..runner.journal import PointFailure, RunJournal
     from ..runner.policy import RetryPolicy
@@ -201,6 +203,7 @@ def run_sweep(
     jobs: int = 1,
     checkpoint_every: int = 1,
     checkpoint_interval_s: Optional[float] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
     cache: Optional["PrecomputeCache"] = None,
     backend: Optional[str] = None,
 ) -> SweepResult:
@@ -244,6 +247,11 @@ def run_sweep(
         and the persisted sweep are identical to a sequential run.
     checkpoint_every / checkpoint_interval_s:
         Amortize checkpoint writes (see :func:`repro.runner.run_batch`).
+    fault_schedule:
+        Deterministic chaos testing: arm a
+        :class:`~repro.faultkit.FaultSchedule` for this sweep (see
+        :mod:`repro.faultkit`; ``None`` defers to the
+        ``REPRO_FAULT_SCHEDULE`` environment variable).
     cache:
         Optional :class:`~repro.core.precompute.PrecomputeCache`; when
         given it is warmed on the first point's shared coarse WLD in
@@ -292,6 +300,7 @@ def run_sweep(
         jobs=jobs,
         checkpoint_every=checkpoint_every,
         checkpoint_interval_s=checkpoint_interval_s,
+        fault_schedule=fault_schedule,
     )
 
     points: List[SweepPoint] = []

@@ -43,6 +43,7 @@ from .core.rank import RankResult
 from .core.rank import compute_rank as _compute_rank_impl
 from .core.scenarios import baseline_problem
 from .errors import RankComputationError
+from .faultkit import FaultSchedule, FaultSpec, parse_fault_schedule
 from .tech.io import load_node
 
 __all__ = [
@@ -60,6 +61,11 @@ __all__ = [
     "PrecomputeCache",
     "RankProblem",
     "RankResult",
+    # Deterministic chaos testing: batch entry points (sweep, corners,
+    # optimize) accept fault_schedule= and thread it to the runner.
+    "FaultSchedule",
+    "FaultSpec",
+    "parse_fault_schedule",
 ]
 
 #: Legacy positional parameter order of ``compute_rank`` (everything
@@ -154,7 +160,8 @@ def sweep(
     Facade over :func:`repro.analysis.sweep.run_sweep`; all of its
     keyword options (``paper``, ``solver``, ``bunch_size``,
     ``max_groups``, ``repeater_units``, retry/checkpoint/parallelism
-    controls, ``cache``) pass through, plus the ``backend`` knob.
+    controls, ``cache``, ``fault_schedule``) pass through, plus the
+    ``backend`` knob.
     """
     from .analysis.sweep import run_sweep
 

@@ -36,8 +36,11 @@ the fault-tolerant harness (:mod:`repro.runner`) and accept
 and ``--timeout-s S`` (per-attempt retry budget and wall-clock
 deadline, with deterministic bunch-size degradation on retries),
 ``--jobs N`` (evaluate points on N worker processes, 0 = one per CPU;
-output is identical to a sequential run) and ``--checkpoint-every K``
-(amortize checkpoint rewrites to every K completed points).
+output is identical to a sequential run), ``--checkpoint-every K``
+(amortize checkpoint rewrites to every K completed points) and
+``--fault-schedule SPEC`` (deterministic chaos testing: arm a
+:mod:`repro.faultkit` schedule, inline JSON or a file path; also
+settable via the ``REPRO_FAULT_SCHEDULE`` environment variable).
 
 Exit codes (stable contract, asserted by ``tests/test_cli.py``):
 
@@ -47,7 +50,13 @@ Exit codes (stable contract, asserted by ``tests/test_cli.py``):
 * ``2`` (:data:`EXIT_USAGE`) — command-line usage error (argparse);
 * ``3`` (:data:`EXIT_PARTIAL`) — partial failure: a ``--keep-going``
   batch completed some points but recorded failures in the run
-  journal.
+  journal;
+* ``130`` (:data:`EXIT_INTERRUPTED`) — interrupted by SIGINT
+  (Ctrl-C); pool workers are reaped first and any ``--checkpoint``
+  file holds every completed point, so the run is resumable;
+* ``143`` — terminated by SIGTERM, with the same reap-and-checkpoint
+  guarantee (the conventional ``128 + signum`` code, raised as
+  ``SystemExit`` by the runner's signal handler).
 
 Examples::
 
@@ -74,7 +83,7 @@ from .analysis.sweep import (
     sweep_permittivity,
     sweep_repeater_fraction,
 )
-from .api import baseline_problem, compute_rank
+from .api import baseline_problem, compute_rank, parse_fault_schedule
 from .errors import ReproError
 from .optimize import DesignSpace, optimize_architecture
 from .reporting.tables import format_node_table, format_sweep_table, sweep_to_csv
@@ -92,6 +101,8 @@ EXIT_FAILURE = 1
 EXIT_USAGE = 2
 #: Partial failure: a --keep-going batch finished with journaled failures.
 EXIT_PARTIAL = 3
+#: Interrupted by SIGINT after reaping workers; checkpoint resumable.
+EXIT_INTERRUPTED = 130
 
 _SWEEPS = {
     "K": sweep_permittivity,
@@ -238,12 +249,20 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         help="rewrite the checkpoint every K completed points instead "
         "of every point (trades re-computation on crash for less I/O)",
     )
+    group.add_argument(
+        "--fault-schedule",
+        default="",
+        metavar="SPEC",
+        help="deterministic chaos testing: arm a repro.faultkit "
+        "schedule (inline JSON, or a path to a JSON schedule file) "
+        "for this run; also settable via REPRO_FAULT_SCHEDULE",
+    )
 
 
 def _runner_kwargs(args: argparse.Namespace) -> dict:
     """Translate fault-tolerance flags into harness keywords."""
     checkpoint = args.resume or args.checkpoint or None
-    return dict(
+    kwargs = dict(
         policy=RetryPolicy(
             max_attempts=1 + max(0, args.max_retries),
             timeout_s=args.timeout_s if args.timeout_s > 0 else None,
@@ -254,6 +273,9 @@ def _runner_kwargs(args: argparse.Namespace) -> dict:
         jobs=args.jobs,
         checkpoint_every=args.checkpoint_every,
     )
+    if args.fault_schedule:
+        kwargs["fault_schedule"] = parse_fault_schedule(args.fault_schedule)
+    return kwargs
 
 
 def _batch_exit_code(journal, n_results: int, n_failures: int) -> int:
@@ -634,6 +656,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_FAILURE
+    except KeyboardInterrupt:
+        # The parallel backend's signal handler reaps pool workers
+        # before this propagates, and run_batch's finally has already
+        # committed the checkpoint — the run is resumable.
+        print("interrupted (checkpoint, if any, is resumable)", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except BrokenPipeError:
         # Downstream consumer (e.g. ``| head``) closed stdout early;
         # that is a normal way to stop reading, not a failure.  Detach

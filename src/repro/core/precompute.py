@@ -34,6 +34,7 @@ import pickle
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from ..faultkit.inject import fault_point
 from ..obs.metrics import inc as _obs_inc
 
 #: Default number of cached entries (coarse WLDs + tables combined).
@@ -98,6 +99,7 @@ class PrecomputeCache:
         keeps the WLD fixed (C, R, K, M — all of Table 4) shares one
         entry.
         """
+        fault_point("precompute.coarsen")
         key = ("coarsened", fingerprint(problem.wld), bunch_size, max_groups)
         entry = self._get("coarsened", key)
         if entry is None:
@@ -120,6 +122,7 @@ class PrecomputeCache:
         The coarse WLD underneath is resolved through :meth:`coarsened`,
         so a tables *miss* still reuses a shared coarse WLD hit.
         """
+        fault_point("precompute.tables")
         key = ("tables", fingerprint(problem), bunch_size, max_groups)
         entry = self._get("tables", key)
         if entry is None:

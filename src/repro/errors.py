@@ -79,6 +79,37 @@ class CheckpointError(RunnerError):
     """
 
 
+class CheckpointIntegrityError(CheckpointError):
+    """A checkpoint parsed but failed its embedded integrity check.
+
+    Every checkpoint generation embeds a SHA-256 digest over its
+    canonical JSON body; a mismatch means the bytes on disk were
+    corrupted *after* the atomic write completed (bad disk, manual
+    edit, injected fault).  The loader falls back to the previous
+    generation (``<path>.prev``) when one exists; this error surfaces
+    only when no generation survives.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection schedule is malformed or cannot be loaded.
+
+    Raised while *parsing* a schedule (bad JSON in
+    ``REPRO_FAULT_SCHEDULE``, an unknown fault kind, a missing schedule
+    file) — never by an injected fault itself, which raises
+    :class:`InjectedFault`.
+    """
+
+
+class InjectedFault(ReproError):
+    """An exception deliberately raised by the fault-injection subsystem.
+
+    Subclasses :class:`ReproError`, so the default
+    :class:`repro.runner.RetryPolicy` treats it as retryable — exactly
+    like the transient evaluation failures it stands in for.
+    """
+
+
 class DeadlineExceeded(RunnerError):
     """A cooperative wall-clock deadline expired mid-computation.
 

@@ -1,0 +1,54 @@
+"""Deterministic fault injection for the batch runner (chaos testing).
+
+``repro.faultkit`` reproduces the failure modes a long-lived rank
+service actually meets — worker crashes, hangs, unpicklable results,
+torn and corrupted checkpoint files — on a fixed, seeded schedule, so
+every chaos run is exactly replayable and the runner's recovery paths
+are testable in CI rather than in production.
+
+Two halves:
+
+* :mod:`~repro.faultkit.schedule` — :class:`FaultSpec` /
+  :class:`FaultSchedule`: plain data describing which fault fires at
+  which named site, JSON round-trippable, generable from an injected
+  :class:`random.Random`;
+* :mod:`~repro.faultkit.inject` — :func:`fault_point` (the guard the
+  runner stack calls; one falsy check when disabled) and the armed
+  state performing the faults.
+
+Activation: pass ``fault_schedule=`` to the :mod:`repro.api` batch
+entry points, or set ``REPRO_FAULT_SCHEDULE`` to inline JSON or a
+schedule-file path.  See ``docs/usage.md`` §12.
+"""
+
+from .inject import (
+    activated,
+    active_schedule,
+    fault_point,
+    install,
+    uninstall,
+)
+from .schedule import (
+    ENV_VAR,
+    KINDS,
+    SITES,
+    FaultSchedule,
+    FaultSpec,
+    parse_fault_schedule,
+    schedule_from_env,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "KINDS",
+    "SITES",
+    "FaultSchedule",
+    "FaultSpec",
+    "activated",
+    "active_schedule",
+    "fault_point",
+    "install",
+    "parse_fault_schedule",
+    "schedule_from_env",
+    "uninstall",
+]

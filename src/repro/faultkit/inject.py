@@ -1,0 +1,166 @@
+"""Arming fault schedules: the :func:`fault_point` guard and actions.
+
+The runner stack calls :func:`fault_point` at named sites.  The guard
+is RPL005-style free when injection is off — a single module-global
+falsy check (``if _ACTIVE is None: return``) with **no** argument
+construction, locking, or dict lookups — so production hot paths pay
+one pointer comparison.
+
+:func:`install` arms a :class:`~repro.faultkit.schedule.FaultSchedule`
+in the current process; per-site occurrence counters and per-spec fire
+counts live on the armed state, so worker processes (which each
+install their own copy of the schedule) count independently and
+deterministically.
+
+Fault actions
+-------------
+``raise``
+    Raise :class:`~repro.errors.InjectedFault` — retryable under the
+    default :class:`~repro.runner.RetryPolicy`.
+``kill``
+    ``SIGKILL`` the *current* process: the worker crash / OOM-kill
+    stand-in.  Unblockable, uncatchable, leaves no trace.
+``hang``
+    Sleep ``spec.arg`` seconds (default 60): a worker stuck past its
+    cooperative deadline, for the watchdog to reap.
+``pickle``
+    Raise :class:`pickle.PicklingError` — an unpicklable result on the
+    way back to the parent.
+``torn``
+    Truncate the site's file (``context["path"]``) mid-payload: a torn
+    write that survived an ``os.replace``-free crash.
+``corrupt``
+    Flip one byte in the middle of the site's file: silent on-disk
+    corruption that only a checksum can catch.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from ..errors import FaultInjectionError, InjectedFault
+from ..obs.metrics import inc as _obs_inc
+from .schedule import FaultSchedule, FaultSpec
+
+#: Armed schedule state, or ``None`` when injection is disabled.  The
+#: single falsy check on this global is the entire disabled-path cost.
+_ACTIVE: Optional["_Armed"] = None
+
+
+class _Armed:
+    """A schedule plus the mutable firing state for one process."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._site_seen: Dict[str, int] = {}
+        self._fired: Dict[int, int] = {}
+
+    def fire(self, site: str, context: Dict[str, object]) -> None:
+        seen = self._site_seen.get(site, 0)
+        self._site_seen[site] = seen + 1
+        for index, spec in enumerate(self.schedule.specs):
+            if self._fired.get(index, 0) >= spec.times:
+                continue
+            if not spec.matches(site, context, seen):
+                continue
+            self._fired[index] = self._fired.get(index, 0) + 1
+            _perform(spec, site, context)
+
+
+def fault_point(site: str, **context: object) -> None:
+    """A named fault site; no-op unless a schedule is armed."""
+    if _ACTIVE is None:
+        return
+    _ACTIVE.fire(site, context)
+
+
+def install(schedule: FaultSchedule) -> None:
+    """Arm ``schedule`` in this process (replacing any armed one)."""
+    global _ACTIVE
+    _ACTIVE = _Armed(schedule)
+
+
+def uninstall() -> None:
+    """Disarm fault injection in this process."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_schedule() -> Optional[FaultSchedule]:
+    """The armed schedule, or ``None``."""
+    return None if _ACTIVE is None else _ACTIVE.schedule
+
+
+@contextmanager
+def activated(schedule: Optional[FaultSchedule]) -> Iterator[None]:
+    """Arm ``schedule`` for the duration of a block.
+
+    A falsy schedule (``None`` or no specs) leaves the current state
+    untouched, so the runner can wrap every batch unconditionally.
+    """
+    if not schedule:
+        yield
+        return
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = _Armed(schedule)
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+def _perform(spec: FaultSpec, site: str, context: Dict[str, object]) -> None:
+    """Carry out one fault.  Counted as ``fault.injected.<kind>``."""
+    _obs_inc(f"fault.injected.{spec.kind}")
+    if spec.kind == "raise":
+        raise InjectedFault(
+            f"injected fault at {site} "
+            f"(point={context.get('point')!r}, attempt={context.get('attempt')!r})"
+        )
+    if spec.kind == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover — unreachable
+    if spec.kind == "hang":
+        time.sleep(spec.arg if spec.arg is not None else 60.0)
+        return
+    if spec.kind == "pickle":
+        raise pickle.PicklingError(
+            f"injected pickling failure at {site} "
+            f"(point={context.get('point')!r})"
+        )
+    path = context.get("path")
+    if not isinstance(path, str) or not path:
+        raise FaultInjectionError(
+            f"fault kind {spec.kind!r} needs a file site "
+            f"(got site {site!r} with no 'path' context)"
+        )
+    if spec.kind == "torn":
+        _tear_file(path)
+        return
+    _corrupt_file(path)
+
+
+def _tear_file(path: str) -> None:
+    """Truncate a file to half its size — a torn write."""
+    size = os.path.getsize(path)
+    with open(path, "rb+") as handle:
+        handle.truncate(size // 2)
+
+
+def _corrupt_file(path: str) -> None:
+    """Flip one byte in the middle of a file — silent corruption."""
+    size = os.path.getsize(path)
+    if size == 0:
+        return
+    offset = size // 2
+    with open(path, "rb+") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)
+        handle.seek(offset)
+        handle.write(bytes([byte[0] ^ 0xFF]) if byte else b"\x00")

@@ -8,4 +8,5 @@ from . import (  # noqa: F401
     rpl003_determinism,
     rpl004_facade,
     rpl005_obs_guard,
+    rpl006_swallow,
 )

@@ -23,6 +23,8 @@ from .space import DesignSpace
 if TYPE_CHECKING:  # runner imported lazily at call time (cycle via persist)
     from pathlib import Path
 
+    from ..faultkit.schedule import FaultSchedule
+
     from ..core.precompute import PrecomputeCache
     from ..runner.executor import BatchOutcome
     from ..runner.journal import PointFailure, RunJournal
@@ -167,6 +169,7 @@ def evaluate_candidates_batch(
     jobs: int = 1,
     checkpoint_every: int = 1,
     checkpoint_interval_s: Optional[float] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
     cache: Optional["PrecomputeCache"] = None,
     **solve_options,
 ) -> Tuple[List[CandidateResult], "BatchOutcome"]:
@@ -223,6 +226,7 @@ def evaluate_candidates_batch(
         jobs=jobs,
         checkpoint_every=checkpoint_every,
         checkpoint_interval_s=checkpoint_interval_s,
+        fault_schedule=fault_schedule,
     )
     results = [
         CandidateResult(spec=point.value, result=outcome.results[point.key])
@@ -414,6 +418,7 @@ def optimize_architecture(
     jobs: int = 1,
     checkpoint_every: int = 1,
     checkpoint_interval_s: Optional[float] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
     cache: Optional["PrecomputeCache"] = None,
     **solve_options,
 ) -> OptimizationResult:
@@ -453,6 +458,7 @@ def optimize_architecture(
             jobs=jobs,
             checkpoint_every=checkpoint_every,
             checkpoint_interval_s=checkpoint_interval_s,
+        fault_schedule=fault_schedule,
             cache=cache,
             **solve_options,
         )

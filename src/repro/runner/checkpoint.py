@@ -1,24 +1,44 @@
 """Checkpoint files: incremental journaling of completed batch points.
 
-The executor rewrites the checkpoint atomically (temp file +
-``os.replace``, via :mod:`repro.reporting.persist`) after **every**
-completed point, so a crash, OOM kill, or SIGTERM at any instant leaves
-a valid file holding every point finished so far.  ``--resume`` then
-reloads it and recomputes only what is missing.
+The executor rewrites the checkpoint atomically (temp file + ``fsync``
++ ``os.replace``) after completed points, so a crash, OOM kill, or
+SIGTERM at any instant leaves a valid file holding every point finished
+so far.  ``--resume`` then reloads it and recomputes only what is
+missing.
 
-A checkpoint records the run's *name* as its identity; resuming a
-``corners`` checkpoint into a ``sweep K`` run is rejected with a
-:class:`~repro.errors.CheckpointError` rather than silently mixing
-results.
+Two defenses beyond atomicity guard against the failure modes the
+chaos suite (:mod:`repro.faultkit`) injects:
+
+* **integrity** — every file embeds a SHA-256 digest over its
+  canonical JSON body; silent on-disk corruption (a flipped byte the
+  filesystem never notices) is caught at load time instead of
+  resurfacing as a wrong resumed result;
+* **generation rotation** — each rewrite first moves the current file
+  to ``<path>.prev``, so when the newest generation is torn or corrupt
+  the loader falls back to the last valid one automatically (counted
+  as ``checkpoint.integrity_failures`` and recorded on the returned
+  :class:`Checkpoint`).
+
+Loads fail closed: a truncated or non-JSON file raises a diagnostic
+:class:`~repro.errors.CheckpointError` naming the file and byte offset
+— and, when the fallback generation was also unusable, what was wrong
+with it.  A checkpoint records the run's *name* as its identity;
+resuming a ``corners`` checkpoint into a ``sweep K`` run is rejected
+rather than silently mixing results.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from ..errors import CheckpointError, ReproError
+from ..errors import CheckpointError, CheckpointIntegrityError, ReproError
+from ..faultkit.inject import fault_point
+from ..obs.metrics import inc as _obs_inc
 from ..reporting import persist
 from .journal import RunJournal
 
@@ -26,6 +46,9 @@ PathLike = Union[str, Path]
 
 #: Format tag written into every checkpoint file.
 CHECKPOINT_FORMAT = "repro.checkpoint"
+
+#: Digest algorithm recorded in the integrity stanza.
+INTEGRITY_ALGO = "sha256"
 
 
 @dataclass
@@ -43,28 +66,142 @@ class Checkpoint:
     journal:
         Journal of the run that wrote the file (``None`` for
         hand-rolled checkpoints).
+    generation:
+        Which on-disk generation satisfied the load: ``"current"``
+        (the normal case) or ``"previous"`` (the ``.prev`` fallback
+        after the newest file failed parsing or its integrity check).
+    fallback_error:
+        When ``generation == "previous"``, why the current generation
+        was rejected; ``""`` otherwise.
     """
 
     run: str
     points: Dict[str, object] = field(default_factory=dict)
     journal: Optional[RunJournal] = None
+    generation: str = field(default="current", compare=False)
+    fallback_error: str = field(default="", compare=False)
+
+
+def previous_generation_path(path: PathLike) -> Path:
+    """Where :func:`save_checkpoint` rotates the prior generation."""
+    target = Path(path)
+    return target.with_name(target.name + ".prev")
+
+
+def _canonical_digest(body: Dict[str, object]) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON encoding."""
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def save_checkpoint(checkpoint: Checkpoint, path: PathLike) -> None:
-    """Atomically write a checkpoint file (safe against mid-write kills)."""
-    payload = {
+    """Atomically write a checkpoint generation (kill-safe at any instant).
+
+    Write order is ``tmp`` (fsynced) → rotate current to ``.prev`` →
+    rename ``tmp`` into place.  A kill between the renames leaves the
+    previous generation intact for :func:`load_checkpoint`'s fallback;
+    a kill before them leaves the current generation untouched.  The
+    rotation only happens when a current file exists, so a single
+    write leaves exactly one file behind.
+    """
+    body: Dict[str, object] = {
         "format": CHECKPOINT_FORMAT,
         "version": persist.FORMAT_VERSION,
         "run": checkpoint.run,
         "points": dict(checkpoint.points),
     }
     if checkpoint.journal is not None:
-        payload["journal"] = checkpoint.journal.to_dict()
-    persist.write_json_atomic(payload, path)
+        body["journal"] = checkpoint.journal.to_dict()
+    payload = dict(body)
+    payload["integrity"] = {
+        "algo": INTEGRITY_ALGO,
+        "digest": _canonical_digest(body),
+    }
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    fault_point("checkpoint.write.pre", path=str(target))
+    try:
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("checkpoint.write.mid", path=str(target))
+        if target.exists():
+            os.replace(target, previous_generation_path(target))
+        os.replace(tmp, target)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    fault_point("checkpoint.write.post", path=str(target))
+
+
+def _read_generation(path: Path) -> Dict[str, object]:
+    """Parse and integrity-check one on-disk generation.
+
+    Every failure mode — missing file, unreadable file, truncated or
+    non-JSON content, wrong format tag, digest mismatch — raises a
+    :class:`CheckpointError` naming the file (and, for parse errors,
+    the byte offset), so callers can fail closed or fall back.
+    """
+    try:
+        raw = path.read_text()
+    except FileNotFoundError:
+        raise CheckpointError(f"{path}: checkpoint file does not exist") from None
+    except OSError as exc:
+        raise CheckpointError(f"{path}: cannot read: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        # A flipped byte can break the encoding before it breaks the
+        # JSON; that is corruption, not a crash.
+        raise CheckpointError(
+            f"{path}: not valid UTF-8 at byte offset {exc.start}; the "
+            f"file was corrupted after it was written"
+        ) from exc
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"{path}: truncated or non-JSON checkpoint at byte offset "
+            f"{exc.pos} (line {exc.lineno}, column {exc.colno}): {exc.msg}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"{path}: expected a JSON object")
+    if payload.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path}: not a checkpoint file "
+            f"(format tag {payload.get('format')!r}, expected {CHECKPOINT_FORMAT!r})"
+        )
+    if payload.get("version") != persist.FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported version {payload.get('version')!r} "
+            f"(this build reads version {persist.FORMAT_VERSION})"
+        )
+    integrity = payload.pop("integrity", None)
+    if integrity is not None:
+        if not isinstance(integrity, dict):
+            raise CheckpointIntegrityError(
+                f"{path}: malformed integrity stanza ({integrity!r})"
+            )
+        stored = integrity.get("digest")
+        actual = _canonical_digest(payload)
+        if stored != actual:
+            raise CheckpointIntegrityError(
+                f"{path}: integrity check failed — stored digest "
+                f"{str(stored)[:12]}…, recomputed {actual[:12]}…; the file "
+                f"was corrupted after it was written"
+            )
+    return payload
 
 
 def load_checkpoint(path: PathLike, expect_run: Optional[str] = None) -> Checkpoint:
     """Read a checkpoint; every failure mode raises :class:`CheckpointError`.
+
+    When the current generation is missing, truncated, or fails its
+    integrity check, the rotated ``.prev`` generation is tried
+    automatically (``checkpoint.integrity_failures`` counts each such
+    fallback; the returned checkpoint reports ``generation ==
+    "previous"`` and why).  Only when no generation is loadable does
+    the error propagate — naming both files and what was wrong with
+    each.
 
     Parameters
     ----------
@@ -74,29 +211,46 @@ def load_checkpoint(path: PathLike, expect_run: Optional[str] = None) -> Checkpo
         When given, the stored run name must match — resuming the wrong
         checkpoint is an error, not a silent empty resume.
     """
-    if not Path(path).exists():
-        raise CheckpointError(f"{path}: checkpoint file does not exist")
+    target = Path(path)
+    prev = previous_generation_path(target)
+    generation = "current"
+    fallback_error = ""
     try:
-        payload = persist.read_versioned_json(path, CHECKPOINT_FORMAT)
-    except CheckpointError:
-        raise
-    except ReproError as exc:
-        raise CheckpointError(str(exc)) from exc
+        payload = _read_generation(target)
+    except CheckpointError as exc:
+        if not prev.exists():
+            raise
+        _obs_inc("checkpoint.integrity_failures")
+        fallback_error = str(exc)
+        try:
+            payload = _read_generation(prev)
+        except CheckpointError as prev_exc:
+            raise CheckpointError(
+                f"{target}: no loadable checkpoint generation — current: "
+                f"{exc}; previous ({prev}): {prev_exc}"
+            ) from exc
+        generation = "previous"
     run = payload.get("run")
     if not isinstance(run, str) or not run:
-        raise CheckpointError(f"{path}: checkpoint has no run name")
+        raise CheckpointError(f"{target}: checkpoint has no run name")
     if expect_run is not None and run != expect_run:
         raise CheckpointError(
-            f"{path}: checkpoint belongs to run {run!r}, "
+            f"{target}: checkpoint belongs to run {run!r}, "
             f"cannot resume run {expect_run!r}"
         )
     points = payload.get("points", {})
     if not isinstance(points, dict):
-        raise CheckpointError(f"{path}: checkpoint 'points' must be an object")
+        raise CheckpointError(f"{target}: checkpoint 'points' must be an object")
     journal = None
     if "journal" in payload:
         try:
             journal = RunJournal.from_dict(payload["journal"])
         except ReproError as exc:
-            raise CheckpointError(f"{path}: {exc}") from exc
-    return Checkpoint(run=run, points=dict(points), journal=journal)
+            raise CheckpointError(f"{target}: {exc}") from exc
+    return Checkpoint(
+        run=run,
+        points=dict(points),
+        journal=journal,
+        generation=generation,
+        fallback_error=fallback_error,
+    )

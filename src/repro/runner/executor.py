@@ -35,6 +35,9 @@ from pathlib import Path
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import RunnerError
+from ..faultkit.inject import activated as _faults_activated
+from ..faultkit.inject import fault_point
+from ..faultkit.schedule import FaultSchedule, schedule_from_env
 from ..obs.metrics import inc as _obs_inc
 from ..obs.metrics import observe as _obs_observe
 from ..obs.trace import span as _span
@@ -195,10 +198,20 @@ def execute_point(
         _obs_inc("runner.attempts")
         if index:
             _obs_inc("runner.retries")
+            delay = policy.backoff_delay(index, key=point.key)
+            if delay > 0.0:
+                _obs_observe("runner.backoff_wait_s", delay)
+                time.sleep(delay)
         started = time.monotonic()
         with _span("point_attempt", point=point.key, attempt=index):
             try:
+                fault_point(
+                    "executor.attempt.start", point=point.key, attempt=index
+                )
                 result = evaluate(point, attempt)
+                fault_point(
+                    "executor.attempt.end", point=point.key, attempt=index
+                )
             except Exception as exc:
                 attempts.append(
                     AttemptRecord(
@@ -338,6 +351,7 @@ def run_batch(
     jobs: int = 1,
     checkpoint_every: int = 1,
     checkpoint_interval_s: Optional[float] = None,
+    fault_schedule: Optional[FaultSchedule] = None,
 ) -> BatchOutcome:
     """Evaluate every point with isolation, checkpointing, and retries.
 
@@ -386,6 +400,13 @@ def run_batch(
         time trigger.  A final write always happens on every exit path
         (success, strict-mode abort, or propagating error), so
         amortization never loses finished points beyond a hard kill.
+    fault_schedule:
+        Deterministic chaos testing: a
+        :class:`~repro.faultkit.FaultSchedule` armed for the duration
+        of the batch (in the parent and in every pool worker).  When
+        ``None``, the ``REPRO_FAULT_SCHEDULE`` environment variable is
+        consulted; unset means injection stays a single disabled-guard
+        check on the hot path.
 
     Returns
     -------
@@ -415,67 +436,73 @@ def run_batch(
         seen.add(point.key)
     if resume and checkpoint_path is None:
         raise RunnerError(f"run {name!r}: resume requested without a checkpoint path")
+    if fault_schedule is None:
+        fault_schedule = schedule_from_env()
     if jobs > 1:
         # Fail fast (and pickle exactly once) before any worker forks.
         payload = dumps_worker_payload(name, evaluate, policy)
 
-    cached: Dict[str, object] = {}
-    if resume:
-        cached = dict(load_checkpoint(checkpoint_path, expect_run=name).points)
+    with _faults_activated(fault_schedule):
+        cached: Dict[str, object] = {}
+        if resume:
+            cached = dict(load_checkpoint(checkpoint_path, expect_run=name).points)
 
-    journal = RunJournal(name=name)
-    checkpoint = Checkpoint(run=name, points=dict(cached), journal=journal)
-    results: Dict[str, object] = {}
-    committer = _Committer(
-        checkpoint,
-        checkpoint_path,
-        order=[point.key for point in points],
-        every=checkpoint_every,
-        interval_s=checkpoint_interval_s,
-    )
+        journal = RunJournal(name=name)
+        checkpoint = Checkpoint(run=name, points=dict(cached), journal=journal)
+        results: Dict[str, object] = {}
+        committer = _Committer(
+            checkpoint,
+            checkpoint_path,
+            order=[point.key for point in points],
+            every=checkpoint_every,
+            interval_s=checkpoint_interval_s,
+        )
 
-    # Write the identity file up front so even a run killed before its
-    # first completed point leaves a resumable (empty) checkpoint.
-    committer.commit()
-
-    try:
-        with _span("run_batch", run=name, points=len(points), jobs=jobs):
-            if jobs == 1:
-                _run_sequential(
-                    name,
-                    points,
-                    evaluate,
-                    policy,
-                    keep_going,
-                    checkpoint_path,
-                    cached,
-                    deserialize,
-                    serialize,
-                    journal,
-                    checkpoint,
-                    results,
-                    committer,
-                )
-            else:
-                _run_parallel(
-                    name,
-                    points,
-                    payload,
-                    jobs,
-                    keep_going,
-                    checkpoint_path,
-                    cached,
-                    deserialize,
-                    serialize,
-                    journal,
-                    checkpoint,
-                    results,
-                    committer,
-                )
-    finally:
-        # Final write on every exit path: normal return, strict-mode
-        # abort, or a propagating evaluator/worker error.
+        # Write the identity file up front so even a run killed before
+        # its first completed point leaves a resumable (empty) checkpoint.
         committer.commit()
+
+        try:
+            with _span("run_batch", run=name, points=len(points), jobs=jobs):
+                if jobs == 1:
+                    _run_sequential(
+                        name,
+                        points,
+                        evaluate,
+                        policy,
+                        keep_going,
+                        checkpoint_path,
+                        cached,
+                        deserialize,
+                        serialize,
+                        journal,
+                        checkpoint,
+                        results,
+                        committer,
+                    )
+                else:
+                    _run_parallel(
+                        name,
+                        points,
+                        evaluate,
+                        payload,
+                        jobs,
+                        policy,
+                        keep_going,
+                        checkpoint_path,
+                        cached,
+                        deserialize,
+                        serialize,
+                        journal,
+                        checkpoint,
+                        results,
+                        committer,
+                        fault_schedule,
+                    )
+        finally:
+            # Final write on every exit path: normal return, strict-mode
+            # abort, or a propagating evaluator/worker error.
+            committer.commit()
     return BatchOutcome(
         results=results, failures=journal.failures(), journal=journal
     )
@@ -522,8 +549,10 @@ def _run_sequential(
 def _run_parallel(
     name,
     points,
+    evaluate,
     payload,
     jobs,
+    policy,
     keep_going,
     checkpoint_path,
     cached,
@@ -533,6 +562,7 @@ def _run_parallel(
     checkpoint,
     results,
     committer,
+    fault_schedule=None,
 ) -> None:
     outcomes: Dict[str, PointOutcome] = {}
 
@@ -545,14 +575,31 @@ def _run_parallel(
             checkpoint.points[point.key] = serialize(outcome.result)
             committer.mark()
 
-    execute_points_parallel(
+    import pickle as _pickle
+
+    remaining = execute_points_parallel(
         name,
         [point for point in points if point.key not in cached],
         payload,
         jobs,
+        policy,
         on_outcome,
         stop_on_failure=not keep_going,
+        fault_blob=(
+            _pickle.dumps(fault_schedule, protocol=_pickle.HIGHEST_PROTOCOL)
+            if fault_schedule
+            else None
+        ),
     )
+
+    # Graceful degradation: the pool died repeatedly and handed back
+    # the undispatched points — finish them sequentially in-process so
+    # a flaky machine degrades to ``jobs=1`` instead of failing.
+    for point in remaining:
+        outcome = execute_point(point, evaluate, policy)
+        on_outcome(point, outcome)
+        if not outcome.ok and not keep_going:
+            break
 
     # Deterministic merge: rebuild journal and results in batch point
     # order so the outcome is independent of worker scheduling.

@@ -1,28 +1,42 @@
-"""Process-pool backend for the fault-tolerant batch executor.
+"""Fault-tolerant process-pool backend for the batch executor.
 
 :func:`repro.runner.executor.run_batch` dispatches independent points
-to a :class:`concurrent.futures.ProcessPoolExecutor` when asked for
-``jobs > 1``.  The design keeps the sequential contract intact:
+to a worker pool when asked for ``jobs > 1``.  The pool is built
+directly on :mod:`multiprocessing` pipes rather than
+``concurrent.futures`` so the parent owns every recovery decision the
+chaos suite (:mod:`repro.faultkit`) exercises:
 
-* each worker runs the *same* :func:`~repro.runner.executor.execute_point`
-  driver, so retry budgets, the degradation ladder, and cooperative
-  per-attempt deadlines (:func:`repro.core.dp.check_deadline`) are
-  enforced inside the worker process exactly as they are in-process;
-* the ``(evaluate, policy)`` pair is pickled **once** and shipped to
-  each worker via the pool initializer — evaluators that carry a
-  :class:`~repro.core.precompute.PrecomputeCache` hand every worker a
-  warm copy of the shared precomputation instead of rebuilding it per
-  point;
-* outcomes are reported to the caller in completion order (for
-  incremental checkpointing) and the caller re-canonicalizes results,
-  journal, and checkpoint into batch point order, so the persisted
-  output of ``jobs=N`` is identical to ``jobs=1``.
+* **dead-worker detection** — the parent waits on each worker's
+  *process sentinel* alongside its result pipe; a worker that dies
+  mid-point (OOM kill, segfault, injected ``SIGKILL``) is detected
+  immediately and its in-flight point is resubmitted to a replacement
+  worker, bounded by ``policy.max_attempts`` submissions
+  (``runner.worker_deaths`` / ``runner.resubmissions``);
+* **hang watchdog** — with ``policy.timeout_s`` set, a worker holding
+  a point longer than ``policy.hang_grace ×`` its total cooperative
+  budget (timeout × attempts + backoff) is presumed stuck and reaped
+  with ``SIGKILL`` (``runner.hangs_reaped``), then treated as a death;
+* **graceful degradation** — when the pool keeps dying (more than
+  ``max(4, 2 × workers)`` deaths), the backend stops spawning
+  replacements and hands the still-pending points back to the caller
+  for sequential in-process execution (``runner.pool_degradations``);
+* **no orphans** — ``SIGTERM``/``SIGINT`` to the parent kill every
+  worker before the signal's normal effect proceeds (so the final
+  checkpoint commit in ``run_batch``'s ``finally`` still runs), and
+  each worker independently exits when it notices it has been
+  reparented, covering even a ``SIGKILL``-ed parent.
 
-Closures and lambdas cannot cross process boundaries; parallel runs
-require a picklable evaluator (a module-level function or a dataclass
-instance such as the ones in :mod:`repro.analysis.sweep`).  The payload
-is pickled *before* any worker starts so an unpicklable evaluator fails
-fast with an actionable :class:`~repro.errors.RunnerError`.
+The sequential contract is unchanged: each worker runs the same
+:func:`~repro.runner.executor.execute_point` driver (retry budget,
+degradation ladder, cooperative deadlines enforced in-worker), the
+``(evaluate, policy)`` pair is pickled once up front so an unpicklable
+evaluator fails fast, outcomes are reported in completion order for
+incremental checkpointing, and the caller re-canonicalizes results,
+journal, and checkpoint into batch point order — the persisted output
+of ``jobs=N`` is identical to ``jobs=1``.  Workers pre-pickle their
+outcome and fall back to a structured error message when the result
+cannot cross the process boundary, so a pickling failure surfaces as a
+:class:`~repro.errors.RunnerError` instead of a hung pool.
 """
 
 from __future__ import annotations
@@ -30,18 +44,29 @@ from __future__ import annotations
 import dataclasses
 import os
 import pickle
+import signal
+import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Optional, Sequence, Tuple
+from collections import deque
+from contextlib import contextmanager
+from multiprocessing import connection, get_context
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import RunnerError
+from ..faultkit.inject import fault_point, install as _install_faults
 from ..obs import aggregate as _aggregate
 from ..obs.metrics import gauge as _obs_gauge
+from ..obs.metrics import inc as _obs_inc
 from ..obs.metrics import metrics_enabled as _metrics_enabled
+from .journal import STATUS_FAILED, AttemptRecord, PointRecord
 
-#: Per-worker state installed by the pool initializer.
-_worker_state: dict = {}
+#: How often an idle worker wakes to check for tasks and for a
+#: vanished parent (orphan self-cleanup).
+_TASK_POLL_S = 0.25
+
+#: How long to wait for workers to exit after the shutdown sentinel
+#: before escalating to SIGKILL.
+_JOIN_GRACE_S = 5.0
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -77,29 +102,178 @@ def dumps_worker_payload(name: str, evaluate, policy) -> bytes:
         ) from exc
 
 
-def _init_worker(
-    payload: bytes, obs_flags: Tuple[bool, bool] = (False, False)
-) -> None:
-    _worker_state["evaluate"], _worker_state["policy"] = pickle.loads(payload)
-    _aggregate.apply_obs_flags(obs_flags)
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
 
 
-def _worker_execute(point):
+def _encode_error(tag: str, key: str, submit: int, exc: BaseException) -> bytes:
+    """Ship an exception as data; the original object when it survives
+    a pickle round-trip, else its type name and message."""
+    def _pack(exc_blob: Optional[bytes]) -> bytes:
+        return pickle.dumps(
+            (tag, key, submit, exc_blob, type(exc).__name__, str(exc)),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    try:
+        exc_blob = pickle.dumps(exc, protocol=pickle.HIGHEST_PROTOCOL)
+        pickle.loads(exc_blob)
+    except Exception:
+        return _pack(None)
+    return _pack(exc_blob)
+
+
+def _evaluate_task(point, submit: int, evaluate, policy) -> bytes:
+    """Run one point in the worker; always returns an encodable message.
+
+    Three shapes: ``("ok", key, outcome)`` on success (including
+    exhausted-retries failure outcomes — those are data, not errors),
+    ``("raise", ...)`` for exceptions escaping the execute driver
+    (non-retryable evaluator errors keep their original type in the
+    parent), ``("unserializable", ...)`` when the outcome itself cannot
+    be pickled back.
+    """
     from .executor import execute_point
 
-    if not _aggregate.obs_enabled():
-        return execute_point(
-            point, _worker_state["evaluate"], _worker_state["policy"]
+    try:
+        fault_point("parallel.worker.start", point=point.key, submit=submit)
+        if not _aggregate.obs_enabled():
+            outcome = execute_point(point, evaluate, policy)
+        else:
+            # Per-point delta shipping: reset the worker's registry,
+            # evaluate, snapshot, and attach the delta so the parent can
+            # merge it.  Counter totals then match a sequential run
+            # regardless of how points were spread across workers.
+            started = _aggregate.begin_point()
+            outcome = execute_point(point, evaluate, policy)
+            outcome = dataclasses.replace(
+                outcome, obs=_aggregate.end_point(started)
+            )
+    except BaseException as exc:
+        return _encode_error("raise", point.key, submit, exc)
+    try:
+        fault_point("parallel.result", point=point.key, submit=submit)
+        return pickle.dumps(
+            ("ok", point.key, outcome), protocol=pickle.HIGHEST_PROTOCOL
         )
-    # Per-point delta shipping: reset the worker's registry, evaluate,
-    # snapshot, and attach the delta so the parent can merge it.  Counter
-    # totals then match a sequential run regardless of how points were
-    # spread across workers.
-    started = _aggregate.begin_point()
-    outcome = execute_point(
-        point, _worker_state["evaluate"], _worker_state["policy"]
-    )
-    return dataclasses.replace(outcome, obs=_aggregate.end_point(started))
+    except BaseException as exc:
+        return _encode_error("unserializable", point.key, submit, exc)
+
+
+def _worker_main(
+    payload: bytes,
+    obs_flags: Tuple[bool, bool],
+    fault_blob: Optional[bytes],
+    task_r,
+    res_w,
+    parent_pid: int,
+) -> None:
+    """Worker loop: poll for tasks, evaluate, ship pre-pickled results.
+
+    Exits on the ``None`` shutdown sentinel, on a closed pipe, or when
+    the parent vanishes (``getppid`` no longer matches — the orphan
+    self-cleanup that survives even a SIGKILL-ed parent).
+    """
+    if fault_blob is not None:
+        _install_faults(pickle.loads(fault_blob))
+    evaluate, policy = pickle.loads(payload)
+    _aggregate.apply_obs_flags(obs_flags)
+    while True:
+        try:
+            has_task = task_r.poll(_TASK_POLL_S)
+        except (EOFError, OSError):
+            return
+        if not has_task:
+            if os.getppid() != parent_pid:
+                return
+            continue
+        try:
+            task = task_r.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        point, submit = task
+        message = _evaluate_task(point, submit, evaluate, policy)
+        try:
+            res_w.send_bytes(message)
+        except (BrokenPipeError, OSError):
+            return
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Inflight:
+    point: object
+    submit: int
+    submitted: float
+    deadline: Optional[float]
+
+
+class _Worker:
+    """One pool process plus its dedicated task/result pipes."""
+
+    def __init__(self, process, task_w, res_r) -> None:
+        self.process = process
+        self.task_w = task_w
+        self.res_r = res_r
+        self.inflight: Optional[_Inflight] = None
+
+    def close(self) -> None:
+        for conn in (self.task_w, self.res_r):
+            try:
+                conn.close()
+            except OSError:
+                pass  # already closed by a prior cleanup path
+
+
+def _task_budget(policy) -> Optional[float]:
+    """Watchdog wall-clock budget for one submission, or ``None``.
+
+    Without a cooperative ``timeout_s`` there is no basis for calling a
+    worker hung, so the watchdog is off.
+    """
+    if policy.timeout_s is None:
+        return None
+    compute = policy.timeout_s * policy.max_attempts + policy.backoff_budget()
+    return compute * policy.hang_grace
+
+
+@contextmanager
+def _reap_on_signals(kill_all: Callable[[], None]) -> Iterator[None]:
+    """While active, SIGTERM/SIGINT kill every worker before unwinding.
+
+    The handler raises (``SystemExit(128 + signum)`` / a normal
+    ``KeyboardInterrupt``) so the stack unwinds through ``run_batch``'s
+    ``finally`` and the final checkpoint commit still happens —
+    interrupted parallel runs stay resumable and leave no orphans.
+    Installed only in the main thread; elsewhere the workers' reparent
+    check is the (slower) backstop.
+    """
+    previous: Dict[int, object] = {}
+
+    def _handler(signum, frame) -> None:
+        kill_all()
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        if signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        raise SystemExit(128 + signum)
+
+    if threading.current_thread() is threading.main_thread():
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.getsignal(sig)
+            signal.signal(sig, _handler)
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
 
 
 def execute_points_parallel(
@@ -107,68 +281,260 @@ def execute_points_parallel(
     points: Sequence,
     payload: bytes,
     jobs: int,
+    policy,
     on_outcome: Callable,
     stop_on_failure: bool,
-) -> None:
-    """Run ``points`` through a worker pool, reporting in completion order.
+    fault_blob: Optional[bytes] = None,
+) -> List[object]:
+    """Run ``points`` through the pool, reporting in completion order.
 
     ``on_outcome(point, outcome)`` is invoked in the parent for every
     finished point.  With ``stop_on_failure`` the first exhausted point
-    cancels every not-yet-started one (strict mode); already-running
-    points are allowed to finish and are still reported, so everything
-    computed gets checkpointed.  Worker exceptions (non-retryable
-    evaluator errors) propagate with their original type; a worker
-    process dying (OOM kill, segfault) surfaces as
-    :class:`~repro.errors.RunnerError`.
+    stops dispatch of every not-yet-started one (strict mode);
+    already-running points are allowed to finish and are still
+    reported, so everything computed gets checkpointed.  Worker
+    exceptions (non-retryable evaluator errors) propagate with their
+    original type; a worker dying or hanging resubmits its point until
+    ``policy.max_attempts`` submissions are spent, after which the
+    point is reported as failed like any exhausted point.
+
+    Returns the points that were **not** executed because the pool
+    degraded (repeated worker deaths exhausted the replacement
+    budget), in batch order; the caller runs them sequentially.
+    Normally empty.
     """
     if not points:
-        return
-    workers = min(jobs, len(points))
-    pool_started = time.monotonic()
-    busy = 0.0
+        return []
+    workers_n = min(jobs, len(points))
     try:
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_worker,
-            initargs=(payload, _aggregate.obs_flags()),
-        ) as pool:
-            futures = {pool.submit(_worker_execute, p): p for p in points}
-            # Parent-side submission stamps: monotonic clocks are
-            # system-wide on Linux, so (worker start - submission) is a
-            # valid cross-process queue-wait measurement.
-            submitted = {future: time.monotonic() for future in futures}
+        # Fork keeps warm precompute caches shared copy-on-write.
+        ctx = get_context("fork")
+    except ValueError:
+        ctx = get_context()
+    budget_s = _task_budget(policy)
+    death_budget = max(4, 2 * workers_n)
+    pending: Deque[Tuple[object, int]] = deque((p, 0) for p in points)
+    pool: List[_Worker] = []
+    deaths = 0
+    stop_feeding = False
+    degraded = False
+    busy = 0.0
+    pool_started = time.monotonic()
+    obs_flags = _aggregate.obs_flags()
+
+    def _spawn() -> _Worker:
+        task_r, task_w = ctx.Pipe(duplex=False)
+        res_r, res_w = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_worker_main,
+            args=(payload, obs_flags, fault_blob, task_r, res_w, os.getpid()),
+            daemon=True,
+        )
+        process.start()
+        task_r.close()
+        res_w.close()
+        return _Worker(process, task_w, res_r)
+
+    def _kill_all() -> None:
+        for worker in pool:
             try:
-                pending = set(futures)
-                failed = False
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        if future.cancelled():
+                worker.process.kill()
+            except (OSError, ValueError):
+                pass  # already gone; nothing left to reap
+
+    def _handle_message(worker: _Worker, blob: bytes) -> None:
+        nonlocal busy, stop_feeding
+        task = worker.inflight
+        worker.inflight = None
+        message = pickle.loads(blob)
+        tag, key = message[0], message[1]
+        if tag == "ok":
+            outcome = message[2]
+            _aggregate.merge_point(
+                getattr(outcome, "obs", None),
+                submitted=task.submitted if task else None,
+            )
+            busy += _aggregate.busy_seconds(getattr(outcome, "obs", None))
+            on_outcome(task.point if task else None, outcome)
+            if stop_on_failure and not outcome.ok:
+                stop_feeding = True
+            return
+        _submit, exc_blob, exc_type, exc_message = message[2:6]
+        if tag == "raise":
+            if exc_blob is not None:
+                raise pickle.loads(exc_blob)
+            raise RunnerError(
+                f"run {name!r}: worker failed on point {key!r} "
+                f"({exc_type}: {exc_message})"
+            )
+        raise RunnerError(
+            f"run {name!r}: worker could not serialize the result for "
+            f"point {key!r} ({exc_type}: {exc_message}); completed points "
+            f"are checkpointed — re-run with resume to continue"
+        )
+
+    def _handle_death(worker: _Worker, reason: str) -> None:
+        nonlocal deaths, degraded, stop_feeding
+        if worker not in pool:
+            return
+        pool.remove(worker)
+        worker.close()
+        worker.process.join(timeout=1.0)
+        deaths += 1
+        _obs_inc("runner.worker_deaths")
+        task = worker.inflight
+        worker.inflight = None
+        if task is not None:
+            if task.submit + 1 < policy.max_attempts:
+                pending.appendleft((task.point, task.submit + 1))
+                _obs_inc("runner.resubmissions")
+            else:
+                _obs_inc("runner.points_failed")
+                record = PointRecord(
+                    key=task.point.key,
+                    value=task.point.journal_value(),
+                    status=STATUS_FAILED,
+                    attempts=(
+                        AttemptRecord(
+                            index=task.submit,
+                            error_type="WorkerCrash",
+                            error_message=(
+                                f"worker process died ({reason}) while "
+                                f"evaluating {task.point.key!r}; submission "
+                                f"{task.submit + 1}/{policy.max_attempts}"
+                            ),
+                        ),
+                    ),
+                )
+                from .executor import PointOutcome
+
+                on_outcome(task.point, PointOutcome(record=record))
+                if stop_on_failure:
+                    stop_feeding = True
+        if deaths > death_budget and not degraded:
+            degraded = True
+            _obs_inc("runner.pool_degradations")
+
+    def _reap_hang(worker: _Worker) -> None:
+        # Last chance: a result racing the deadline wins.
+        if worker.res_r.poll(0):
+            try:
+                _handle_message(worker, worker.res_r.recv_bytes())
+                return
+            except (EOFError, OSError):
+                pass  # pipe died under us; fall through to the reap
+        budget = f"{budget_s:.1f}s" if budget_s is not None else "?"
+        try:
+            worker.process.kill()
+        except (OSError, ValueError):
+            pass  # exited on its own in the race window
+        _obs_inc("runner.hangs_reaped")
+        _handle_death(worker, f"hung: exceeded the watchdog budget of {budget}")
+
+    try:
+        with _reap_on_signals(_kill_all):
+            while True:
+                # Keep the pool staffed while there is work to dispatch.
+                if not stop_feeding and not degraded:
+                    busy_n = sum(1 for w in pool if w.inflight is not None)
+                    while len(pool) < min(workers_n, busy_n + len(pending)):
+                        pool.append(_spawn())
+                # Feed every idle worker (unless dispatch is stopped).
+                if not stop_feeding and not degraded:
+                    for worker in pool:
+                        if worker.inflight is not None or not pending:
                             continue
-                        outcome = future.result()
-                        _aggregate.merge_point(
-                            getattr(outcome, "obs", None),
-                            submitted=submitted.get(future),
+                        point, submit = pending.popleft()
+                        now = time.monotonic()
+                        try:
+                            worker.task_w.send((point, submit))
+                        except (BrokenPipeError, OSError):
+                            # Death races the dispatch; requeue and let
+                            # the sentinel path account for the worker.
+                            pending.appendleft((point, submit))
+                            continue
+                        worker.inflight = _Inflight(
+                            point=point,
+                            submit=submit,
+                            submitted=now,
+                            deadline=None if budget_s is None else now + budget_s,
                         )
-                        busy += _aggregate.busy_seconds(
-                            getattr(outcome, "obs", None)
-                        )
-                        on_outcome(futures[future], outcome)
-                        if stop_on_failure and not outcome.ok and not failed:
-                            failed = True
-                            for other in pending:
-                                other.cancel()
-            finally:
-                for future in futures:
-                    future.cancel()
+                inflight = [w for w in pool if w.inflight is not None]
+                if not inflight and (not pending or stop_feeding or degraded):
+                    break
+                if not pool:
+                    # Every worker is gone and none may be respawned:
+                    # hand the rest back for sequential execution.
+                    if not degraded:
+                        degraded = True
+                        _obs_inc("runner.pool_degradations")
+                    continue
+                timeout: Optional[float] = None
+                if budget_s is not None and inflight:
+                    now = time.monotonic()
+                    timeout = max(
+                        0.0,
+                        min(w.inflight.deadline for w in inflight) - now,
+                    )
+                by_result = {w.res_r: w for w in pool}
+                by_sentinel = {w.process.sentinel: w for w in pool}
+                ready = connection.wait(
+                    list(by_result) + list(by_sentinel), timeout
+                )
+                # Results first: a worker that answered and then died
+                # must deliver its answer before the death is handled.
+                for obj in ready:
+                    worker = by_result.get(obj)
+                    if worker is None or worker not in pool:
+                        continue
+                    try:
+                        blob = worker.res_r.recv_bytes()
+                    except (EOFError, OSError):
+                        continue  # dead; its sentinel is in this batch
+                    _handle_message(worker, blob)
+                for obj in ready:
+                    worker = by_sentinel.get(obj)
+                    if worker is None or worker not in pool:
+                        continue
+                    if worker.inflight is None and worker.res_r.poll(0):
+                        # Exited right after answering; drain first.
+                        try:
+                            _handle_message(worker, worker.res_r.recv_bytes())
+                        except (EOFError, OSError):
+                            pass  # nothing to drain after all
+                    _handle_death(worker, "crashed")
+                if budget_s is not None:
+                    now = time.monotonic()
+                    for worker in list(pool):
+                        task = worker.inflight
+                        if (
+                            task is not None
+                            and task.deadline is not None
+                            and now >= task.deadline
+                        ):
+                            _reap_hang(worker)
+            # Graceful shutdown: sentinel, short join, then escalate.
+            for worker in pool:
+                try:
+                    worker.task_w.send(None)
+                except (BrokenPipeError, OSError):
+                    pass  # worker already gone; join below reaps it
+            deadline = time.monotonic() + _JOIN_GRACE_S
+            for worker in pool:
+                worker.process.join(timeout=max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(timeout=1.0)
         if _metrics_enabled():
             wall = max(1e-9, time.monotonic() - pool_started)
-            _obs_gauge(
-                "parallel.worker_utilization", busy / (workers * wall)
-            )
-    except BrokenProcessPool as exc:
-        raise RunnerError(
-            f"run {name!r}: a worker process died unexpectedly "
-            f"(jobs={jobs}); completed points are checkpointed — "
-            f"re-run with resume to continue ({exc})"
-        ) from exc
+            _obs_gauge("parallel.worker_utilization", busy / (workers_n * wall))
+    finally:
+        for worker in pool:
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            worker.close()
+    if degraded and pending and not stop_feeding:
+        leftover = {point.key for point, _ in pending}
+        return [point for point in points if point.key in leftover]
+    return []

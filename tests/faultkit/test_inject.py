@@ -1,0 +1,186 @@
+"""The fault_point guard, arming lifecycle, and fault actions."""
+
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.errors import FaultInjectionError, InjectedFault
+from repro.faultkit import (
+    FaultSchedule,
+    FaultSpec,
+    activated,
+    active_schedule,
+    fault_point,
+    install,
+    uninstall,
+)
+
+
+@pytest.fixture(autouse=True)
+def disarmed():
+    """Every test starts and ends with injection off."""
+    uninstall()
+    yield
+    uninstall()
+
+
+@pytest.fixture
+def metrics():
+    obs.reset()
+    obs.enable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def raise_schedule(**kwargs):
+    return FaultSchedule(
+        specs=(FaultSpec(site="site.a", kind="raise", **kwargs),)
+    )
+
+
+class TestGuard:
+    def test_disabled_is_a_noop(self):
+        assert active_schedule() is None
+        fault_point("site.a", point="p")  # must not raise
+
+    def test_install_uninstall(self):
+        schedule = raise_schedule()
+        install(schedule)
+        assert active_schedule() == schedule
+        uninstall()
+        assert active_schedule() is None
+        fault_point("site.a")
+
+    def test_activated_restores_previous_state(self):
+        outer = raise_schedule(point="only-outer")
+        install(outer)
+        inner = raise_schedule()
+        with pytest.raises(InjectedFault):
+            with activated(inner):
+                assert active_schedule() == inner
+                fault_point("site.a")
+        assert active_schedule() == outer
+
+    def test_activated_with_falsy_schedule_changes_nothing(self):
+        with activated(None):
+            assert active_schedule() is None
+        installed = raise_schedule()
+        install(installed)
+        with activated(FaultSchedule()):
+            assert active_schedule() == installed
+
+
+class TestMatching:
+    def test_site_mismatch_does_not_fire(self):
+        install(raise_schedule())
+        fault_point("site.b")
+
+    def test_point_matcher(self):
+        install(raise_schedule(point="p[1]"))
+        fault_point("site.a", point="p[0]")
+        with pytest.raises(InjectedFault):
+            fault_point("site.a", point="p[1]")
+
+    def test_occurrence_counts_per_site(self):
+        install(
+            FaultSchedule(
+                specs=(FaultSpec(site="site.a", kind="raise", occurrence=2),)
+            )
+        )
+        fault_point("site.a")
+        fault_point("site.b")  # independent counter
+        fault_point("site.a")
+        with pytest.raises(InjectedFault):
+            fault_point("site.a")
+
+    def test_times_bounds_total_fires(self):
+        install(
+            FaultSchedule(
+                specs=(FaultSpec(site="site.a", kind="raise", times=2),)
+            )
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                fault_point("site.a")
+        fault_point("site.a")  # exhausted; never fires again
+
+    def test_glob_spec_matches_multiple_sites(self):
+        install(
+            FaultSchedule(
+                specs=(FaultSpec(site="site.*", kind="raise", times=2),)
+            )
+        )
+        with pytest.raises(InjectedFault):
+            fault_point("site.a")
+        with pytest.raises(InjectedFault):
+            fault_point("site.b")
+
+
+class TestActions:
+    def test_raise_carries_site_and_point(self):
+        install(raise_schedule())
+        with pytest.raises(InjectedFault, match=r"site\.a.*p\[3\]"):
+            fault_point("site.a", point="p[3]", attempt=0)
+
+    def test_pickle_kind_raises_pickling_error(self):
+        install(
+            FaultSchedule(specs=(FaultSpec(site="site.a", kind="pickle"),))
+        )
+        with pytest.raises(pickle.PicklingError, match="injected"):
+            fault_point("site.a")
+
+    def test_torn_truncates_file(self, tmp_path):
+        path = tmp_path / "payload.json"
+        path.write_bytes(b"x" * 100)
+        install(FaultSchedule(specs=(FaultSpec(site="site.a", kind="torn"),)))
+        fault_point("site.a", path=str(path))
+        assert path.stat().st_size == 50
+
+    def test_corrupt_flips_a_byte_keeping_size(self, tmp_path):
+        path = tmp_path / "payload.json"
+        original = bytes(range(64))
+        path.write_bytes(original)
+        install(
+            FaultSchedule(specs=(FaultSpec(site="site.a", kind="corrupt"),))
+        )
+        fault_point("site.a", path=str(path))
+        mangled = path.read_bytes()
+        assert len(mangled) == len(original)
+        assert mangled != original
+        assert sum(a != b for a, b in zip(mangled, original)) == 1
+
+    def test_file_kind_without_path_context_is_a_config_error(self):
+        install(FaultSchedule(specs=(FaultSpec(site="site.a", kind="torn"),)))
+        with pytest.raises(FaultInjectionError, match="path"):
+            fault_point("site.a")
+
+    def test_injected_faults_are_counted(self, metrics):
+        install(
+            FaultSchedule(
+                specs=(
+                    FaultSpec(site="site.a", kind="raise"),
+                    FaultSpec(site="site.b", kind="pickle"),
+                )
+            )
+        )
+        with pytest.raises(InjectedFault):
+            fault_point("site.a")
+        with pytest.raises(pickle.PicklingError):
+            fault_point("site.b")
+        counters = obs.snapshot()["counters"]
+        assert counters["fault.injected.raise"] == 1
+        assert counters["fault.injected.pickle"] == 1
+
+
+class TestPickleTransport:
+    def test_schedule_survives_pickling_to_workers(self):
+        schedule = FaultSchedule(
+            specs=(
+                FaultSpec(site="parallel.worker.start", kind="kill",
+                          point="p[0]", submit=0),
+            ),
+            seed=11,
+        )
+        assert pickle.loads(pickle.dumps(schedule)) == schedule

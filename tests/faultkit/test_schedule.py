@@ -1,0 +1,217 @@
+"""FaultSchedule / FaultSpec: validation, round-trips, seeded draws."""
+
+import random
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faultkit import (
+    ENV_VAR,
+    KINDS,
+    FaultSchedule,
+    FaultSpec,
+    parse_fault_schedule,
+    schedule_from_env,
+)
+from repro.faultkit.schedule import FILE_SITES, SITES, WORKER_SITES
+
+
+class TestFaultSpecValidation:
+    def test_minimal_spec(self):
+        spec = FaultSpec(site="executor.attempt.start", kind="raise")
+        assert spec.times == 1
+        assert spec.point is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown kind"):
+            FaultSpec(site="executor.attempt.start", kind="explode")
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(FaultInjectionError, match="site"):
+            FaultSpec(site="", kind="raise")
+
+    def test_negative_matchers_rejected(self):
+        for name in ("attempt", "submit", "occurrence"):
+            with pytest.raises(FaultInjectionError, match=name):
+                FaultSpec(site="x", kind="raise", **{name: -1})
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(FaultInjectionError, match="times"):
+            FaultSpec(site="x", kind="raise", times=0)
+
+
+class TestFaultSpecMatching:
+    def test_exact_site_and_glob(self):
+        spec = FaultSpec(site="checkpoint.write.*", kind="torn")
+        assert spec.matches("checkpoint.write.post", {}, 0)
+        assert spec.matches("checkpoint.write.mid", {}, 0)
+        assert not spec.matches("executor.attempt.start", {}, 0)
+
+    def test_point_and_attempt_matchers(self):
+        spec = FaultSpec(
+            site="executor.attempt.start", kind="raise", point="p[1]", attempt=0
+        )
+        assert spec.matches(
+            "executor.attempt.start", {"point": "p[1]", "attempt": 0}, 0
+        )
+        assert not spec.matches(
+            "executor.attempt.start", {"point": "p[2]", "attempt": 0}, 0
+        )
+        assert not spec.matches(
+            "executor.attempt.start", {"point": "p[1]", "attempt": 1}, 0
+        )
+
+    def test_occurrence_matcher(self):
+        spec = FaultSpec(site="checkpoint.write.post", kind="corrupt", occurrence=2)
+        assert not spec.matches("checkpoint.write.post", {}, 0)
+        assert not spec.matches("checkpoint.write.post", {}, 1)
+        assert spec.matches("checkpoint.write.post", {}, 2)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_everything(self):
+        schedule = FaultSchedule(
+            specs=(
+                FaultSpec(site="executor.attempt.start", kind="raise",
+                          point="p[0]", attempt=1),
+                FaultSpec(site="parallel.worker.start", kind="hang",
+                          submit=0, arg=2.5, times=3),
+                FaultSpec(site="checkpoint.write.post", kind="torn",
+                          occurrence=4),
+            ),
+            seed=99,
+        )
+        assert FaultSchedule.from_json(schedule.to_json()) == schedule
+
+    def test_bare_list_form_accepted(self):
+        schedule = FaultSchedule.from_json(
+            '[{"site": "executor.attempt.start", "kind": "raise"}]'
+        )
+        assert len(schedule.specs) == 1
+        assert schedule.seed is None
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(FaultInjectionError, match="unknown field"):
+            FaultSchedule.from_json('[{"site": "x", "kind": "raise", "nope": 1}]')
+
+    def test_missing_required_fields_rejected(self):
+        with pytest.raises(FaultInjectionError, match="required"):
+            FaultSchedule.from_json('[{"site": "x"}]')
+
+    def test_invalid_json_rejected_with_position(self):
+        with pytest.raises(FaultInjectionError, match="char"):
+            FaultSchedule.from_json("[{bad")
+
+    def test_non_list_specs_rejected(self):
+        with pytest.raises(FaultInjectionError, match="list"):
+            FaultSchedule.from_json('{"specs": 5}')
+        with pytest.raises(FaultInjectionError, match="list"):
+            FaultSchedule.from_json('"just a string"')
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(FaultInjectionError, match="seed"):
+            FaultSchedule.from_json('{"seed": "abc", "specs": []}')
+
+
+class TestTruthiness:
+    def test_empty_schedule_is_falsy(self):
+        assert not FaultSchedule()
+        assert not FaultSchedule(specs=(), seed=3)
+
+    def test_populated_schedule_is_truthy(self):
+        assert FaultSchedule(specs=(FaultSpec(site="x", kind="raise"),))
+
+
+class TestSeeded:
+    def test_same_rng_state_same_schedule(self):
+        keys = [f"p[{i}]" for i in range(5)]
+        a = FaultSchedule.seeded(random.Random(7), keys, seed=7)
+        b = FaultSchedule.seeded(random.Random(7), keys, seed=7)
+        assert a == b
+        assert a.seed == 7
+
+    def test_different_seeds_differ_somewhere(self):
+        keys = [f"p[{i}]" for i in range(5)]
+        drawn = {
+            FaultSchedule.seeded(random.Random(s), keys).specs for s in range(20)
+        }
+        assert len(drawn) > 1
+
+    def test_kill_and_hang_pinned_to_worker_sites(self):
+        keys = ["a", "b"]
+        for s in range(30):
+            schedule = FaultSchedule.seeded(
+                random.Random(s), keys, kinds=("kill", "hang"), max_faults=4
+            )
+            for spec in schedule.specs:
+                assert spec.site in WORKER_SITES
+                assert spec.submit == 0
+
+    def test_file_kinds_pinned_to_checkpoint_writes(self):
+        keys = ["a", "b", "c"]
+        for s in range(30):
+            schedule = FaultSchedule.seeded(
+                random.Random(s), keys, kinds=("torn", "corrupt"), max_faults=4
+            )
+            for spec in schedule.specs:
+                assert spec.site in FILE_SITES
+                assert spec.occurrence is not None
+
+    def test_kind_subset_is_honoured(self):
+        schedule = FaultSchedule.seeded(
+            random.Random(3), ["k"], kinds=("raise",), max_faults=5
+        )
+        assert {spec.kind for spec in schedule.specs} == {"raise"}
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(FaultInjectionError, match="point key"):
+            FaultSchedule.seeded(random.Random(0), [])
+
+    def test_invalid_kind_pool_rejected(self):
+        with pytest.raises(FaultInjectionError, match="kinds"):
+            FaultSchedule.seeded(random.Random(0), ["k"], kinds=("nope",))
+
+    def test_canonical_site_tables_cover_generated_specs(self):
+        keys = ["a"]
+        for s in range(10):
+            schedule = FaultSchedule.seeded(random.Random(s), keys, kinds=KINDS)
+            for spec in schedule.specs:
+                assert spec.site in SITES
+
+
+class TestParsing:
+    def test_inline_json(self):
+        schedule = parse_fault_schedule(
+            '[{"site": "executor.attempt.start", "kind": "raise"}]'
+        )
+        assert schedule.specs[0].kind == "raise"
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "faults.json"
+        original = FaultSchedule(
+            specs=(FaultSpec(site="parallel.result", kind="pickle"),), seed=1
+        )
+        path.write_text(original.to_json())
+        assert parse_fault_schedule(path) == original
+
+    def test_missing_file_diagnostic(self, tmp_path):
+        with pytest.raises(FaultInjectionError, match="cannot read"):
+            parse_fault_schedule(tmp_path / "nope.json")
+
+    def test_env_unset_or_blank_means_disabled(self):
+        assert schedule_from_env({}) is None
+        assert schedule_from_env({ENV_VAR: "   "}) is None
+
+    def test_env_inline_json(self):
+        schedule = schedule_from_env(
+            {ENV_VAR: '{"seed": 5, "specs": []}'}
+        )
+        assert schedule is not None
+        assert schedule.seed == 5
+
+    def test_env_file_path(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text('[{"site": "precompute.tables", "kind": "raise"}]')
+        schedule = schedule_from_env({ENV_VAR: str(path)})
+        assert schedule is not None
+        assert schedule.specs[0].site == "precompute.tables"

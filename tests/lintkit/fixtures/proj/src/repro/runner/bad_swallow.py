@@ -1,0 +1,39 @@
+"""RPL006 triggers: swallowed exceptions inside a recovery package."""
+
+
+def bare_except_pass(worker):
+    try:
+        worker.close()
+    except:  # noqa: E722  (still an RPL006 violation)
+        pass
+
+
+def broad_except_pass(conn):
+    try:
+        conn.send(b"bye")
+    except Exception:
+        pass
+
+
+def base_exception_assignment(path):
+    result = None
+    try:
+        result = path.read_text()
+    except BaseException:
+        result = None
+    return result
+
+
+def tuple_containing_exception(queue):
+    for item in queue:
+        try:
+            item.flush()
+        except (ValueError, Exception):
+            continue
+
+
+def broad_except_unapproved_call(exc_log, task):
+    try:
+        task.run()
+    except Exception as exc:
+        exc_log.stash(str(exc))

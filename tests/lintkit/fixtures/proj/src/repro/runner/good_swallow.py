@@ -1,0 +1,52 @@
+"""RPL006 non-violations: broad catches that surface the failure."""
+
+
+def bare_except_reraise(worker):
+    try:
+        worker.close()
+    except:  # noqa: E722
+        raise
+
+
+def broad_except_wraps(conn):
+    try:
+        conn.send(b"bye")
+    except Exception as exc:
+        raise RuntimeError(f"send failed: {exc}") from exc
+
+
+def broad_except_returns_value(path):
+    try:
+        return path.read_text()
+    except Exception as exc:
+        return ("error", type(exc).__name__)
+
+
+def broad_except_records(metrics, task):
+    try:
+        task.run()
+    except Exception:
+        metrics.inc("runner.task_errors")
+
+
+def broad_except_wrapper_helper(obs_inc, task):
+    try:
+        task.run()
+    except Exception:
+        obs_inc("runner.task_errors")
+
+
+def broad_except_logs(logger, task):
+    try:
+        task.run()
+    except BaseException:
+        logger.exception("task blew up")
+        raise
+
+
+def narrow_except_is_fine(path):
+    try:
+        return path.stat().st_size
+    except OSError:
+        pass
+    return 0

@@ -116,6 +116,31 @@ class TestRPL005ObsGuard:
         assert run_lint("src/repro/core/good_obs.py", select=["RPL005"]) == []
 
 
+class TestRPL006Swallow:
+    def test_flags_all_swallow_shapes(self):
+        findings = run_lint(
+            "src/repro/runner/bad_swallow.py", select=["RPL006"]
+        )
+        assert codes(findings) == ["RPL006"] * 5
+        messages = " | ".join(f.message for f in findings)
+        assert "bare 'except:'" in messages
+        assert "swallows the failure" in messages
+
+    def test_surfacing_handlers_pass(self):
+        # re-raise, wrap-and-raise, return-with-value, obs counter,
+        # wrapper helper (obs_inc), logger, and a narrow except.
+        assert (
+            run_lint("src/repro/runner/good_swallow.py", select=["RPL006"])
+            == []
+        )
+
+    def test_out_of_scope_module_ignored(self):
+        # core is not a recovery package: a swallow there is RPL006-clean
+        # (bad_obs.py has broad handlers only lintkit's scope exempts).
+        assert run_lint("src/repro/core/bad_obs.py", select=["RPL006"]) == []
+        assert run_lint("bad_literals.py", select=["RPL006"]) == []
+
+
 class TestRPL000SyntaxError:
     def test_unparsable_file_yields_one_finding(self):
         findings = run_lint("bad_syntax.py")
@@ -143,6 +168,7 @@ class TestWholeProject:
             "RPL003": 11,
             "RPL004": 4,
             "RPL005": 5,
+            "RPL006": 5,
         }
 
     def test_findings_sorted_and_relative(self):

@@ -1,0 +1,160 @@
+"""Checkpoint integrity digests, generation rotation, and fail-closed loads."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import CheckpointError, CheckpointIntegrityError
+from repro.runner.checkpoint import (
+    INTEGRITY_ALGO,
+    Checkpoint,
+    load_checkpoint,
+    previous_generation_path,
+    save_checkpoint,
+)
+
+
+def _save(path, points, run="demo"):
+    save_checkpoint(Checkpoint(run=run, points=dict(points)), path)
+
+
+def _flip_middle_byte(path):
+    blob = bytearray(path.read_bytes())
+    offset = len(blob) // 2
+    blob[offset] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+class TestIntegrityStanza:
+    def test_saved_file_embeds_digest(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        payload = json.loads(path.read_text())
+        assert payload["integrity"]["algo"] == INTEGRITY_ALGO
+        assert len(payload["integrity"]["digest"]) == 64
+
+    def test_clean_round_trip(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1, "b": [2, 3]})
+        loaded = load_checkpoint(path)
+        assert loaded.points == {"a": 1, "b": [2, 3]}
+        assert loaded.generation == "current"
+        assert loaded.fallback_error == ""
+
+    def test_flipped_byte_detected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        _flip_middle_byte(path)
+        # a flip either breaks the JSON or trips the digest; both are
+        # CheckpointError subclasses and both name the file
+        with pytest.raises(CheckpointError, match="ck.json"):
+            load_checkpoint(path)
+
+    def test_tampered_value_with_stale_digest_detected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        payload = json.loads(path.read_text())
+        payload["points"]["a"] = 2  # valid JSON, wrong digest
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointIntegrityError, match="digest"):
+            load_checkpoint(path)
+
+    def test_malformed_integrity_stanza_rejected(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        payload = json.loads(path.read_text())
+        payload["integrity"] = "not a dict"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointIntegrityError, match="integrity"):
+            load_checkpoint(path)
+
+    def test_legacy_file_without_integrity_loads(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        payload = json.loads(path.read_text())
+        del payload["integrity"]
+        path.write_text(json.dumps(payload))
+        assert load_checkpoint(path).points == {"a": 1}
+
+    def test_truncated_file_names_offset(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="byte offset"):
+            load_checkpoint(path)
+
+
+class TestGenerationRotation:
+    def test_first_save_leaves_single_file(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        assert not previous_generation_path(path).exists()
+
+    def test_second_save_rotates_previous_generation(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        _save(path, {"a": 1, "b": 2})
+        prev = previous_generation_path(path)
+        assert prev.exists()
+        assert load_checkpoint(path).points == {"a": 1, "b": 2}
+        assert json.loads(prev.read_text())["points"] == {"a": 1}
+
+    def test_corrupt_current_falls_back_to_previous(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        _save(path, {"a": 1, "b": 2})
+        _flip_middle_byte(path)
+        loaded = load_checkpoint(path)
+        assert loaded.points == {"a": 1}
+        assert loaded.generation == "previous"
+        assert "ck.json" in loaded.fallback_error
+
+    def test_fallback_is_counted(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        _save(path, {"a": 1, "b": 2})
+        _flip_middle_byte(path)
+        obs.reset()
+        obs.enable()
+        try:
+            load_checkpoint(path)
+            counters = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert counters["checkpoint.integrity_failures"] == 1
+
+    def test_missing_current_with_previous_falls_back(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        _save(path, {"a": 1, "b": 2})
+        path.unlink()
+        loaded = load_checkpoint(path)
+        assert loaded.points == {"a": 1}
+        assert loaded.generation == "previous"
+
+    def test_both_generations_bad_names_both_files(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1})
+        _save(path, {"a": 1, "b": 2})
+        _flip_middle_byte(path)
+        prev = previous_generation_path(path)
+        prev.write_text("{ torn")
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            load_checkpoint(path)
+        with pytest.raises(CheckpointError, match="ck.json.prev"):
+            load_checkpoint(path)
+
+    def test_missing_everything_fails_closed(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "ck.json")
+
+    def test_fallback_still_validates_run_name(self, tmp_path):
+        path = tmp_path / "ck.json"
+        _save(path, {"a": 1}, run="other")
+        _save(path, {"a": 1, "b": 2}, run="other")
+        _flip_middle_byte(path)
+        with pytest.raises(CheckpointError, match="belongs to run"):
+            load_checkpoint(path, expect_run="demo")

@@ -86,3 +86,64 @@ class TestRetryability:
         policy = RetryPolicy(retry_on=(ValueError,))
         assert policy.is_retryable(ValueError("x"))
         assert not policy.is_retryable(RankComputationError("x"))
+
+
+class TestBackoff:
+    def test_disabled_by_default(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.backoff_delay(1) == 0.0
+        assert policy.backoff_budget() == 0.0
+
+    def test_attempt_zero_never_waits(self):
+        policy = RetryPolicy(max_attempts=3, backoff_s=1.0)
+        assert policy.backoff_delay(0) == 0.0
+
+    def test_exponential_progression_with_ceiling(self):
+        policy = RetryPolicy(
+            max_attempts=6, backoff_s=1.0, backoff_factor=2.0, backoff_max_s=5.0
+        )
+        delays = [policy.backoff_delay(a) for a in range(1, 6)]
+        assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_jitter_is_deterministic_per_seed_key_attempt(self):
+        policy = RetryPolicy(
+            max_attempts=3, backoff_s=1.0, jitter=0.5, seed=42
+        )
+        assert policy.backoff_delay(1, key="p[0]") == policy.backoff_delay(
+            1, key="p[0]"
+        )
+        # Base 1.0, stretched by at most 50%.
+        delay = policy.backoff_delay(1, key="p[0]")
+        assert 1.0 <= delay <= 1.5
+
+    def test_jitter_varies_across_keys_and_seeds(self):
+        policy = RetryPolicy(max_attempts=3, backoff_s=1.0, jitter=0.5, seed=1)
+        other_seed = RetryPolicy(
+            max_attempts=3, backoff_s=1.0, jitter=0.5, seed=2
+        )
+        draws = {
+            policy.backoff_delay(1, key=f"p[{i}]") for i in range(10)
+        } | {other_seed.backoff_delay(1, key="p[0]")}
+        assert len(draws) > 1
+
+    def test_budget_bounds_every_jittered_wait(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_s=0.5, backoff_factor=3.0, jitter=0.25,
+            seed=7,
+        )
+        total = sum(
+            policy.backoff_delay(a, key="worst-case") for a in range(1, 4)
+        )
+        assert total <= policy.backoff_budget() + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(RunnerError, match="backoff_s"):
+            RetryPolicy(backoff_s=-1.0)
+        with pytest.raises(RunnerError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(RunnerError, match="backoff_max_s"):
+            RetryPolicy(backoff_max_s=0.0)
+        with pytest.raises(RunnerError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(RunnerError, match="hang_grace"):
+            RetryPolicy(hang_grace=0.5)

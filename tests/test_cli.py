@@ -292,3 +292,60 @@ class TestNodeFileDiagnostics:
         code = main(["rank", "--node-file", str(tmp_path / "absent.json")])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestFaultSchedule:
+    """--fault-schedule arms deterministic chaos on any runner command."""
+
+    FAST = ["--gates", "20000", "--bunch", "2000", "--units", "64"]
+
+    def test_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["sweep", "R", "--fault-schedule", "[]"]
+        )
+        assert args.fault_schedule == "[]"
+
+    def test_malformed_schedule_exits_one(self, capsys):
+        code = main(
+            ["sweep", "R", *self.FAST, "--fault-schedule", "[{bad"]
+        )
+        assert code == 1
+        assert "fault schedule" in capsys.readouterr().err
+
+    def test_injected_raise_recovered_by_retry(self, capsys):
+        clean_argv = ["sweep", "R", *self.FAST, "--csv"]
+        assert main(clean_argv) == 0
+        clean = capsys.readouterr().out
+        schedule = (
+            '[{"site": "executor.attempt.start", "kind": "raise",'
+            ' "attempt": 0}]'
+        )
+        code = main(
+            clean_argv + ["--max-retries", "1", "--fault-schedule", schedule]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == clean
+
+    def test_injected_raise_without_retry_fails(self, capsys):
+        schedule = (
+            '[{"site": "executor.attempt.start", "kind": "raise",'
+            ' "attempt": 0}]'
+        )
+        code = main(
+            ["sweep", "R", *self.FAST, "--fault-schedule", schedule]
+        )
+        assert code == 1
+        assert "InjectedFault" in capsys.readouterr().err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_sweep", interrupted)
+        # set_defaults captured the original; re-dispatch through a
+        # parser built after the patch.
+        code = main(["sweep", "R", *self.FAST])
+        assert code == 130
+        assert "resumable" in capsys.readouterr().err
