@@ -35,8 +35,12 @@ the fault-tolerant harness (:mod:`repro.runner`) and accept
 ``--resume PATH`` (recompute only missing points), ``--max-retries N``
 and ``--timeout-s S`` (per-attempt retry budget and wall-clock
 deadline, with deterministic bunch-size degradation on retries),
-``--jobs N`` (evaluate points on N worker processes, 0 = one per CPU;
-output is identical to a sequential run), ``--checkpoint-every K``
+``--jobs N`` (evaluate points on a warm pool of N worker processes,
+0 = one per CPU; output is identical to a sequential run),
+``--chunk-size K`` and ``--pool-mode auto|warm|sequential`` (warm-pool
+scheduling: points per dispatched chunk, and whether to force or
+disable the pool — 'auto' falls back to sequential whenever a pool
+cannot beat it), ``--checkpoint-every K``
 (amortize checkpoint rewrites to every K completed points) and
 ``--fault-schedule SPEC`` (deterministic chaos testing: arm a
 :mod:`repro.faultkit` schedule, inline JSON or a file path; also
@@ -238,8 +242,26 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         metavar="N",
-        help="evaluate points on N worker processes (0 = one per CPU); "
+        help="evaluate points on N warm pool workers (0 = one per CPU); "
         "results and checkpoints are identical to a sequential run",
+    )
+    group.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        metavar="K",
+        help="points per work-queue chunk when pooling (0 = automatic: "
+        "~4 chunks per worker, capped at 32); scheduling only, never "
+        "affects results",
+    )
+    group.add_argument(
+        "--pool-mode",
+        default="auto",
+        choices=("auto", "warm", "sequential"),
+        help="worker-pool policy: 'auto' (default) falls back to "
+        "sequential when a pool cannot beat it (single usable CPU, "
+        "tiny batch), 'warm' always pools when --jobs > 1, "
+        "'sequential' never pools",
     )
     group.add_argument(
         "--checkpoint-every",
@@ -271,6 +293,8 @@ def _runner_kwargs(args: argparse.Namespace) -> dict:
         checkpoint=checkpoint,
         resume=bool(args.resume),
         jobs=args.jobs,
+        chunk_size=args.chunk_size or None,
+        pool_mode=args.pool_mode,
         checkpoint_every=args.checkpoint_every,
     )
     if args.fault_schedule:

@@ -43,6 +43,10 @@ SITES: Tuple[str, ...] = (
     "executor.attempt.end",
     "parallel.worker.start",
     "parallel.result",
+    "pool.shm.export",
+    "pool.shm.attach",
+    "pool.chunk.dispatch",
+    "pool.chunk.start",
     "checkpoint.write.pre",
     "checkpoint.write.mid",
     "checkpoint.write.post",
@@ -53,11 +57,28 @@ SITES: Tuple[str, ...] = (
 #: Sites that only fire inside pool worker processes.  ``kill``/``hang``
 #: faults are restricted to these by :meth:`FaultSchedule.seeded` so a
 #: generated schedule never kills the parent (sequential) process.
-WORKER_SITES: Tuple[str, ...] = ("parallel.worker.start", "parallel.result")
+#: ``pool.chunk.start`` fires once per received chunk (with the chunk's
+#: first point as context), ``pool.shm.attach`` once at worker startup.
+WORKER_SITES: Tuple[str, ...] = (
+    "parallel.worker.start",
+    "parallel.result",
+    "pool.chunk.start",
+    "pool.shm.attach",
+)
 
 #: Sites that receive a ``path`` context value and therefore support
-#: the file-mangling ``torn``/``corrupt`` kinds.
-FILE_SITES: Tuple[str, ...] = ("checkpoint.write.post",)
+#: the file-mangling ``torn``/``corrupt`` kinds.  The shared-memory
+#: sites expose the ``/dev/shm`` segment path: ``corrupt`` at
+#: ``pool.shm.export`` flips a byte *after* the parent computed the
+#: segment digest, so every worker detects the mismatch on attach —
+#: the canonical test of the fingerprint validation.  (``seeded`` only
+#: draws checkpoint files: truncating a mapped segment can SIGBUS
+#: readers, which is a crash shape the kill fault already covers.)
+FILE_SITES: Tuple[str, ...] = (
+    "checkpoint.write.post",
+    "pool.shm.export",
+    "pool.shm.attach",
+)
 
 
 @dataclass(frozen=True)
@@ -264,7 +285,11 @@ class FaultSchedule:
         attempt — comes from ``rng``, so the same generator state
         always produces the same schedule.  ``kill``/``hang``/``pickle``
         are pinned to worker-only sites at ``submit=0`` (the
-        resubmitted point must be able to succeed); ``torn``/``corrupt``
+        resubmitted point must be able to succeed) — ``kill``/``hang``
+        draw between the per-point ``parallel.worker.start`` site and
+        the per-chunk ``pool.chunk.start`` site (the latter only fires
+        when the drawn point leads its chunk, so some schedules are
+        deliberately inert under chunked dispatch); ``torn``/``corrupt``
         land on checkpoint writes by occurrence.
         """
         keys = list(point_keys)
@@ -290,7 +315,9 @@ class FaultSchedule:
             elif kind in ("kill", "hang"):
                 specs.append(
                     FaultSpec(
-                        site="parallel.worker.start",
+                        site=rng.choice(
+                            ("parallel.worker.start", "pool.chunk.start")
+                        ),
                         kind=kind,
                         point=rng.choice(keys),
                         submit=0,

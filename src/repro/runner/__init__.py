@@ -6,9 +6,12 @@ Every batched evaluation in the library — Table 4 sweeps
 search (:mod:`repro.optimize.search`) — routes through
 :func:`run_batch`, which adds per-point fault isolation,
 checkpoint/resume, deterministic retry/degradation policies, and
-optional process-pool parallelism (``jobs=N``; results come back in
-batch point order regardless of completion order) on top of any
-``(point) -> result`` evaluation.
+optional warm-pool parallelism (``jobs=N`` with a shared-memory table
+handoff and chunked dispatch; results come back in batch point order
+regardless of completion order) on top of any ``(point) -> result``
+evaluation.  ``pool_mode`` ("auto"/"warm"/"sequential") and
+``chunk_size`` tune the pool; the "auto" default falls back to
+in-process execution whenever a pool cannot beat sequential.
 
 The execution layer is hardened against real process failures — and
 chaos-tested against :mod:`repro.faultkit` schedules: dead pool
@@ -55,7 +58,13 @@ from .journal import (
     PointRecord,
     RunJournal,
 )
-from .parallel import resolve_jobs
+from .parallel import (
+    POOL_MODES,
+    resolve_chunk_size,
+    resolve_jobs,
+    should_use_pool,
+    usable_cpus,
+)
 from .policy import RetryPolicy, scaled_bunch_size
 
 __all__ = [
@@ -64,6 +73,7 @@ __all__ = [
     "BatchOutcome",
     "CHECKPOINT_FORMAT",
     "Checkpoint",
+    "POOL_MODES",
     "PointFailure",
     "PointOutcome",
     "PointRecord",
@@ -75,8 +85,11 @@ __all__ = [
     "STATUS_FAILED",
     "execute_point",
     "load_checkpoint",
+    "resolve_chunk_size",
     "resolve_jobs",
     "run_batch",
     "save_checkpoint",
     "scaled_bunch_size",
+    "should_use_pool",
+    "usable_cpus",
 ]

@@ -20,11 +20,16 @@ needs:
   (coarser bunch size), with every degradation recorded in the
   :class:`~repro.runner.journal.RunJournal`.
 
-``jobs > 1`` dispatches points to a process pool
+``jobs > 1`` dispatches points to a warm worker pool
 (:mod:`repro.runner.parallel`) with all three guarantees intact, and
 results, journal, and checkpoint re-canonicalized into batch point
 order — the persisted output of a parallel run is identical to the
-sequential one (timing fields aside).
+sequential one (timing fields aside).  ``pool_mode`` controls the
+dispatch decision: ``"auto"`` (default) falls back to in-process
+execution whenever a pool cannot beat sequential (one usable CPU,
+fewer than two pending points), ``"warm"`` forces the pool, and
+``"sequential"`` disables it while still requiring a picklable
+evaluator, so runs stay portable across machines.
 """
 
 from __future__ import annotations
@@ -52,9 +57,12 @@ from .journal import (
     RunJournal,
 )
 from .parallel import (
+    POOL_MODE_AUTO,
+    POOL_MODES,
     dumps_worker_payload,
     execute_points_parallel,
     resolve_jobs,
+    should_use_pool,
 )
 from .policy import RetryPolicy
 
@@ -349,6 +357,8 @@ def run_batch(
     serialize: Optional[Callable[[object], object]] = None,
     deserialize: Optional[Callable[[object], object]] = None,
     jobs: int = 1,
+    chunk_size: Optional[int] = None,
+    pool_mode: str = POOL_MODE_AUTO,
     checkpoint_every: int = 1,
     checkpoint_interval_s: Optional[float] = None,
     fault_schedule: Optional[FaultSchedule] = None,
@@ -389,8 +399,21 @@ def run_batch(
         default, i.e. results must already be JSON-compatible).
     jobs:
         Worker processes: 1 (default) runs in-process, ``N > 1`` runs a
-        process pool, 0 means one worker per CPU.  Results, journal,
-        and checkpoint come back in batch point order regardless.
+        warm worker pool, 0 means one worker per CPU.  Results,
+        journal, and checkpoint come back in batch point order
+        regardless.
+    chunk_size:
+        Points per work-queue chunk when pooling.  ``None``/``0``
+        (default) sizes chunks automatically (about four waves per
+        worker, capped at 32 points); the value only affects
+        scheduling, never results.
+    pool_mode:
+        ``"auto"`` (default) uses the pool only when it can beat
+        sequential — at least two pending points and two usable CPUs;
+        ``"warm"`` forces the pool whenever ``jobs > 1``;
+        ``"sequential"`` never pools.  Any mode with ``jobs > 1``
+        still requires a picklable evaluator, so a batch that works on
+        a laptop also works on a many-core runner.
     checkpoint_every:
         Amortize checkpoint writes: rewrite the file every this many
         completed points (default 1 — every point).
@@ -416,6 +439,16 @@ def run_batch(
     serialize = serialize if serialize is not None else (lambda result: result)
     deserialize = deserialize if deserialize is not None else (lambda payload: payload)
     jobs = resolve_jobs(jobs)
+    if pool_mode not in POOL_MODES:
+        raise RunnerError(
+            f"run {name!r}: pool_mode must be one of {POOL_MODES}, "
+            f"got {pool_mode!r}"
+        )
+    if chunk_size is not None and chunk_size < 0:
+        raise RunnerError(
+            f"run {name!r}: chunk_size must be >= 1 (or 0/None for auto), "
+            f"got {chunk_size!r}"
+        )
     if checkpoint_every < 1:
         raise RunnerError(
             f"run {name!r}: checkpoint_every must be >= 1, got {checkpoint_every!r}"
@@ -438,14 +471,24 @@ def run_batch(
         raise RunnerError(f"run {name!r}: resume requested without a checkpoint path")
     if fault_schedule is None:
         fault_schedule = schedule_from_env()
+    payload = None
     if jobs > 1:
-        # Fail fast (and pickle exactly once) before any worker forks.
-        payload = dumps_worker_payload(name, evaluate, policy)
+        # Fail fast (and pickle exactly once, arrays hoisted) before
+        # any worker forks — in *every* pool mode, so an evaluator that
+        # falls back to sequential here still fails loudly on the
+        # many-core machine where the pool would actually run.
+        payload = dumps_worker_payload(name, evaluate, policy, points)
 
     with _faults_activated(fault_schedule):
         cached: Dict[str, object] = {}
         if resume:
             cached = dict(load_checkpoint(checkpoint_path, expect_run=name).points)
+        pending_n = sum(1 for point in points if point.key not in cached)
+        use_pool = payload is not None and should_use_pool(
+            pool_mode, jobs, pending_n
+        )
+        if payload is not None and not use_pool:
+            _obs_inc("parallel.pool_fallbacks")
 
         journal = RunJournal(name=name)
         checkpoint = Checkpoint(run=name, points=dict(cached), journal=journal)
@@ -464,7 +507,7 @@ def run_batch(
 
         try:
             with _span("run_batch", run=name, points=len(points), jobs=jobs):
-                if jobs == 1:
+                if not use_pool:
                     _run_sequential(
                         name,
                         points,
@@ -498,6 +541,7 @@ def run_batch(
                         results,
                         committer,
                         fault_schedule,
+                        chunk_size,
                     )
         finally:
             # Final write on every exit path: normal return, strict-mode
@@ -563,6 +607,7 @@ def _run_parallel(
     results,
     committer,
     fault_schedule=None,
+    chunk_size=None,
 ) -> None:
     outcomes: Dict[str, PointOutcome] = {}
 
@@ -579,7 +624,11 @@ def _run_parallel(
 
     remaining = execute_points_parallel(
         name,
-        [point for point in points if point.key not in cached],
+        [
+            (index, point)
+            for index, point in enumerate(points)
+            if point.key not in cached
+        ],
         payload,
         jobs,
         policy,
@@ -590,6 +639,7 @@ def _run_parallel(
             if fault_schedule
             else None
         ),
+        chunk_size=chunk_size,
     )
 
     # Graceful degradation: the pool died repeatedly and handed back

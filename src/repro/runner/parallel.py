@@ -1,39 +1,66 @@
-"""Fault-tolerant process-pool backend for the batch executor.
+"""Warm worker-pool backend for the batch executor.
 
 :func:`repro.runner.executor.run_batch` dispatches independent points
 to a worker pool when asked for ``jobs > 1``.  The pool is built
 directly on :mod:`multiprocessing` pipes rather than
 ``concurrent.futures`` so the parent owns every recovery decision the
-chaos suite (:mod:`repro.faultkit`) exercises:
+chaos suite (:mod:`repro.faultkit`) exercises, and it is *warm*:
 
+* **spawn once, shared-memory handoff** — workers are started once per
+  batch and receive the evaluator, policy, and point list through one
+  :mod:`multiprocessing.shared_memory` segment: every dense numpy
+  array (``AssignmentTables`` columns, ``RCArrays``, warmed coarse
+  WLDs) is hoisted out of the pickle by
+  :func:`repro.core.precompute.dumps_hoisted`, published once, and
+  attached zero-copy by each worker after SHA-256 digest validation
+  (``pool.shm.export`` / ``pool.shm.attach`` fault sites).  When
+  shared memory is unavailable the payload falls back to inline
+  pickling (``parallel.shm_fallbacks``);
+* **chunked work queue** — instead of one pickled submission per
+  point, workers pull *chunks* of point indices
+  (``resolve_chunk_size``: explicit ``chunk_size`` or an automatic
+  ``~4 waves per worker`` split) and stream one pre-pickled result
+  message per point, so per-task IPC is a few bytes each way
+  (``pool.chunk.dispatch`` / ``pool.chunk.start`` fault sites,
+  ``parallel.chunks_dispatched`` / ``parallel.chunk_size`` metrics);
+* **sequential auto-fallback** — :func:`should_use_pool` routes the
+  batch back to in-process execution when a pool cannot win: explicit
+  ``pool_mode="sequential"``, one effective job, a sub-2-point batch,
+  or (``pool_mode="auto"``) a single usable CPU
+  (``parallel.pool_fallbacks``).  ``pool_mode="warm"`` forces the pool
+  for tests and benchmarks;
 * **dead-worker detection** — the parent waits on each worker's
   *process sentinel* alongside its result pipe; a worker that dies
-  mid-point (OOM kill, segfault, injected ``SIGKILL``) is detected
-  immediately and its in-flight point is resubmitted to a replacement
-  worker, bounded by ``policy.max_attempts`` submissions
+  mid-chunk (OOM kill, segfault, injected ``SIGKILL``) is detected
+  immediately and every unanswered entry of its chunk is resubmitted
+  to a replacement, bounded by ``policy.max_attempts`` submissions
   (``runner.worker_deaths`` / ``runner.resubmissions``);
-* **hang watchdog** — with ``policy.timeout_s`` set, a worker holding
-  a point longer than ``policy.hang_grace ×`` its total cooperative
-  budget (timeout × attempts + backoff) is presumed stuck and reaped
-  with ``SIGKILL`` (``runner.hangs_reaped``), then treated as a death;
+* **hang watchdog** — with ``policy.timeout_s`` set, a worker whose
+  chunk makes no progress for ``policy.hang_grace ×`` one point's
+  total cooperative budget (timeout × attempts + backoff) is presumed
+  stuck and reaped with ``SIGKILL`` (``runner.hangs_reaped``), then
+  treated as a death; each streamed result resets the deadline, so the
+  budget is per point even inside a large chunk;
 * **graceful degradation** — when the pool keeps dying (more than
   ``max(4, 2 × workers)`` deaths), the backend stops spawning
   replacements and hands the still-pending points back to the caller
   for sequential in-process execution (``runner.pool_degradations``);
-* **no orphans** — ``SIGTERM``/``SIGINT`` to the parent kill every
-  worker before the signal's normal effect proceeds (so the final
-  checkpoint commit in ``run_batch``'s ``finally`` still runs), and
-  each worker independently exits when it notices it has been
-  reparented, covering even a ``SIGKILL``-ed parent.
+* **no orphans, no leaked segments** — ``SIGTERM``/``SIGINT`` to the
+  parent kill every worker before the signal's normal effect proceeds
+  (so the final checkpoint commit in ``run_batch``'s ``finally`` still
+  runs), the shared-memory segment is closed and unlinked on every
+  exit path, each worker independently exits when it notices it has
+  been reparented, and multiprocessing's resource tracker covers even
+  a ``SIGKILL``-ed parent.
 
 The sequential contract is unchanged: each worker runs the same
 :func:`~repro.runner.executor.execute_point` driver (retry budget,
 degradation ladder, cooperative deadlines enforced in-worker), the
-``(evaluate, policy)`` pair is pickled once up front so an unpicklable
-evaluator fails fast, outcomes are reported in completion order for
-incremental checkpointing, and the caller re-canonicalizes results,
-journal, and checkpoint into batch point order — the persisted output
-of ``jobs=N`` is identical to ``jobs=1``.  Workers pre-pickle their
+payload is pickled once up front so an unpicklable evaluator fails
+fast, outcomes are reported in completion order for incremental
+checkpointing, and the caller re-canonicalizes results, journal, and
+checkpoint into batch point order — the persisted output of
+``jobs=N`` is identical to ``jobs=1``.  Workers pre-pickle their
 outcome and fall back to a structured error message when the result
 cannot cross the process boundary, so a pickling failure surfaces as a
 :class:`~repro.errors.RunnerError` instead of a hung pool.
@@ -47,11 +74,27 @@ import pickle
 import signal
 import threading
 import time
+import traceback
 from collections import deque
 from contextlib import contextmanager
 from multiprocessing import connection, get_context
-from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from ..core.precompute import (
+    ShmArrayStore,
+    attach_arrays,
+    dumps_hoisted,
+    loads_hoisted,
+)
 from ..errors import RunnerError
 from ..faultkit.inject import fault_point, install as _install_faults
 from ..obs import aggregate as _aggregate
@@ -68,6 +111,23 @@ _TASK_POLL_S = 0.25
 #: before escalating to SIGKILL.
 _JOIN_GRACE_S = 5.0
 
+#: The recognized ``pool_mode`` values.
+POOL_MODE_AUTO = "auto"
+POOL_MODE_WARM = "warm"
+POOL_MODE_SEQUENTIAL = "sequential"
+POOL_MODES: Tuple[str, ...] = (
+    POOL_MODE_AUTO,
+    POOL_MODE_WARM,
+    POOL_MODE_SEQUENTIAL,
+)
+
+#: Auto chunking aims for this many chunks per worker, so a slow point
+#: cannot strand a long tail behind one worker...
+_CHUNK_WAVES = 4
+#: ...while chunks never exceed this many points, keeping resubmission
+#: after a mid-chunk crash cheap.
+_CHUNK_CAP = 32
+
 
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a ``--jobs`` request to a concrete worker count.
@@ -80,19 +140,88 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs < 0:
         raise RunnerError(f"jobs must be >= 0 (0 = one per CPU), got {jobs!r}")
     if jobs == 0:
-        return max(1, os.cpu_count() or 1)
+        return max(1, usable_cpus())
     return jobs
 
 
-def dumps_worker_payload(name: str, evaluate, policy) -> bytes:
-    """Pickle ``(evaluate, policy)`` for shipment to worker processes.
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware).
+
+    On cgroup-limited CI runners ``os.cpu_count()`` reports the host,
+    not the container; the scheduler affinity mask is what bounds real
+    parallelism, so the auto-fallback decision uses it when available.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+def should_use_pool(pool_mode: str, jobs: int, n_points: int) -> bool:
+    """Whether a worker pool can beat in-process execution.
+
+    ``sequential`` never pools; ``warm`` always does (given work for
+    more than one worker to share); ``auto`` additionally requires at
+    least two usable CPUs — on a single core a pool only adds fork,
+    IPC, and scheduling overhead, which is exactly the regression the
+    never-slower-than-sequential gate guards against.
+    """
+    if pool_mode == POOL_MODE_SEQUENTIAL:
+        return False
+    if jobs <= 1 or n_points < 2:
+        return False
+    if pool_mode == POOL_MODE_WARM:
+        return True
+    return usable_cpus() >= 2
+
+
+def resolve_chunk_size(
+    chunk_size: Optional[int], n_points: int, workers: int
+) -> int:
+    """Points per work-queue chunk.
+
+    ``None``/``0`` picks automatically: the batch split into about
+    :data:`_CHUNK_WAVES` chunks per worker (load balance against slow
+    points), capped at :data:`_CHUNK_CAP` (cheap crash resubmission).
+    """
+    if chunk_size:
+        if chunk_size < 1:
+            raise RunnerError(
+                f"chunk_size must be >= 1 (or 0/None for auto), "
+                f"got {chunk_size!r}"
+            )
+        return chunk_size
+    waves = max(1, workers) * _CHUNK_WAVES
+    return max(1, min(-(-n_points // waves), _CHUNK_CAP))
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerPayload:
+    """The batch payload, pickled once with its arrays hoisted out.
+
+    ``skeleton`` is the array-free pickle of
+    ``(evaluate, policy, points)``; ``arrays`` are the hoisted dense
+    arrays, published to shared memory (or shipped inline) by
+    :func:`execute_points_parallel`.
+    """
+
+    name: str
+    skeleton: bytes
+    arrays: Tuple
+
+
+def dumps_worker_payload(
+    name: str, evaluate, policy, points: Sequence = ()
+) -> WorkerPayload:
+    """Pickle ``(evaluate, policy, points)`` for shipment to workers.
 
     Raising here — before any process is forked — turns the classic
     late ``PicklingError`` inside the pool into an immediate, explained
-    failure.
+    failure.  Dense arrays are hoisted rather than serialized, so this
+    is cheap even for evaluators dragging a warmed precompute cache.
     """
     try:
-        return pickle.dumps((evaluate, policy), protocol=pickle.HIGHEST_PROTOCOL)
+        skeleton, arrays = dumps_hoisted((evaluate, policy, tuple(points)))
     except Exception as exc:
         raise RunnerError(
             f"run {name!r}: evaluate/policy cannot be pickled for parallel "
@@ -100,6 +229,7 @@ def dumps_worker_payload(name: str, evaluate, policy) -> bytes:
             f"module-level function or a dataclass instance, not a closure "
             f"or lambda — or run with jobs=1"
         ) from exc
+    return WorkerPayload(name=name, skeleton=skeleton, arrays=arrays)
 
 
 # ---------------------------------------------------------------------------
@@ -107,12 +237,12 @@ def dumps_worker_payload(name: str, evaluate, policy) -> bytes:
 # ---------------------------------------------------------------------------
 
 
-def _encode_error(tag: str, key: str, submit: int, exc: BaseException) -> bytes:
+def _encode_error(tag: str, index: int, submit: int, exc: BaseException) -> bytes:
     """Ship an exception as data; the original object when it survives
     a pickle round-trip, else its type name and message."""
     def _pack(exc_blob: Optional[bytes]) -> bytes:
         return pickle.dumps(
-            (tag, key, submit, exc_blob, type(exc).__name__, str(exc)),
+            (tag, index, submit, exc_blob, type(exc).__name__, str(exc)),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
 
@@ -124,10 +254,10 @@ def _encode_error(tag: str, key: str, submit: int, exc: BaseException) -> bytes:
     return _pack(exc_blob)
 
 
-def _evaluate_task(point, submit: int, evaluate, policy) -> bytes:
+def _evaluate_task(point, index: int, submit: int, evaluate, policy) -> bytes:
     """Run one point in the worker; always returns an encodable message.
 
-    Three shapes: ``("ok", key, outcome)`` on success (including
+    Three shapes: ``("ok", index, outcome)`` on success (including
     exhausted-retries failure outcomes — those are data, not errors),
     ``("raise", ...)`` for exceptions escaping the execute driver
     (non-retryable evaluator errors keep their original type in the
@@ -151,34 +281,88 @@ def _evaluate_task(point, submit: int, evaluate, policy) -> bytes:
                 outcome, obs=_aggregate.end_point(started)
             )
     except BaseException as exc:
-        return _encode_error("raise", point.key, submit, exc)
+        return _encode_error("raise", index, submit, exc)
     try:
         fault_point("parallel.result", point=point.key, submit=submit)
         return pickle.dumps(
-            ("ok", point.key, outcome), protocol=pickle.HIGHEST_PROTOCOL
+            ("ok", index, outcome), protocol=pickle.HIGHEST_PROTOCOL
         )
     except BaseException as exc:
-        return _encode_error("unserializable", point.key, submit, exc)
+        return _encode_error("unserializable", index, submit, exc)
+
+
+def _load_worker_payload(init_blob: bytes):
+    """Decode the one-time worker payload; attaches shared memory.
+
+    Returns ``(evaluate, policy, points, shm)`` where ``shm`` keeps the
+    attached segment (and therefore every zero-copy view into it)
+    alive for the worker's lifetime, or is ``None`` in inline mode.
+    """
+    transport, skeleton, extra = pickle.loads(init_blob)
+    if transport == "shm":
+        arrays, shm = attach_arrays(extra)
+    else:
+        arrays, shm = extra, None
+    evaluate, policy, points = loads_hoisted(skeleton, arrays)
+    return evaluate, policy, points, shm
 
 
 def _worker_main(
-    payload: bytes,
+    init_blob: bytes,
     obs_flags: Tuple[bool, bool],
     fault_blob: Optional[bytes],
     task_r,
     res_w,
     parent_pid: int,
 ) -> None:
-    """Worker loop: poll for tasks, evaluate, ship pre-pickled results.
+    """Process entry point: run the loop, then exit without teardown.
+
+    ``os._exit`` skips interpreter shutdown on purpose: the payload
+    holds zero-copy views into the attached segment, and letting GC
+    close the mapping while views still exist would raise
+    ``BufferError`` noise from ``__del__`` during teardown.  The
+    process exit unmaps everything regardless; the parent owns the
+    segment's unlink.
+    """
+    try:
+        _worker_loop(init_blob, obs_flags, fault_blob, task_r, res_w, parent_pid)
+    except BaseException:  # pragma: no cover - defensive trace, then death
+        _obs_inc("runner.worker_crashes")
+        traceback.print_exc()
+    finally:
+        os._exit(0)
+
+
+def _worker_loop(
+    init_blob: bytes,
+    obs_flags: Tuple[bool, bool],
+    fault_blob: Optional[bytes],
+    task_r,
+    res_w,
+    parent_pid: int,
+) -> None:
+    """Worker loop: pull chunks, evaluate, stream pre-pickled results.
 
     Exits on the ``None`` shutdown sentinel, on a closed pipe, or when
     the parent vanishes (``getppid`` no longer matches — the orphan
-    self-cleanup that survives even a SIGKILL-ed parent).
+    self-cleanup that survives even a SIGKILL-ed parent).  A payload
+    that cannot be decoded (failed shared-memory attach, digest
+    mismatch) poisons the worker: every received entry is answered
+    with the stored error so the parent surfaces it instead of hanging.
     """
     if fault_blob is not None:
         _install_faults(pickle.loads(fault_blob))
-    evaluate, policy = pickle.loads(payload)
     _aggregate.apply_obs_flags(obs_flags)
+    points: Sequence = ()
+    evaluate = policy = None
+    init_error: Optional[BaseException] = None
+    try:
+        evaluate, policy, points, _shm = _load_worker_payload(init_blob)
+    except Exception as exc:
+        # Poisoned, not dead: the error is recorded and replayed as the
+        # answer to every received entry, so the parent surfaces it.
+        _obs_inc("runner.worker_init_errors")
+        init_error = exc
     while True:
         try:
             has_task = task_r.poll(_TASK_POLL_S)
@@ -194,12 +378,24 @@ def _worker_main(
             return
         if task is None:
             return
-        point, submit = task
-        message = _evaluate_task(point, submit, evaluate, policy)
-        try:
-            res_w.send_bytes(message)
-        except (BrokenPipeError, OSError):
-            return
+        first_index, first_submit = task[0]
+        fault_point(
+            "pool.chunk.start",
+            point=(points[first_index].key if init_error is None else None),
+            submit=first_submit,
+            size=len(task),
+        )
+        for index, submit in task:
+            if init_error is not None:
+                message = _encode_error("raise", index, submit, init_error)
+            else:
+                message = _evaluate_task(
+                    points[index], index, submit, evaluate, policy
+                )
+            try:
+                res_w.send_bytes(message)
+            except (BrokenPipeError, OSError):
+                return
 
 
 # ---------------------------------------------------------------------------
@@ -208,9 +404,10 @@ def _worker_main(
 
 
 @dataclasses.dataclass
-class _Inflight:
-    point: object
-    submit: int
+class _Chunk:
+    """One dispatched work item: the entries still awaiting an answer."""
+
+    entries: Dict[int, int]  # point index -> submission counter
     submitted: float
     deadline: Optional[float]
 
@@ -222,7 +419,7 @@ class _Worker:
         self.process = process
         self.task_w = task_w
         self.res_r = res_r
-        self.inflight: Optional[_Inflight] = None
+        self.inflight: Optional[_Chunk] = None
 
     def close(self) -> None:
         for conn in (self.task_w, self.res_r):
@@ -236,7 +433,8 @@ def _task_budget(policy) -> Optional[float]:
     """Watchdog wall-clock budget for one submission, or ``None``.
 
     Without a cooperative ``timeout_s`` there is no basis for calling a
-    worker hung, so the watchdog is off.
+    worker hung, so the watchdog is off.  The budget covers a single
+    point; inside a chunk, every streamed result resets the clock.
     """
     if policy.timeout_s is None:
         return None
@@ -276,36 +474,67 @@ def _reap_on_signals(kill_all: Callable[[], None]) -> Iterator[None]:
             signal.signal(sig, old)
 
 
+def _publish_payload(payload: WorkerPayload) -> Tuple[bytes, Optional[ShmArrayStore]]:
+    """Publish the payload's arrays; inline pickling as the fallback.
+
+    Returns ``(init_blob, store)``: the per-worker bootstrap blob and
+    the parent-owned segment handle (``None`` when shared memory was
+    unavailable and the arrays travel inline instead).
+    """
+    try:
+        store = ShmArrayStore.create(payload.arrays)
+    except (OSError, ValueError, ImportError):
+        _obs_inc("parallel.shm_fallbacks")
+        blob = pickle.dumps(
+            ("inline", payload.skeleton, payload.arrays),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        return blob, None
+    _obs_inc("parallel.shm_exports")
+    if _metrics_enabled():
+        _obs_gauge("parallel.shm_bytes", float(store.manifest.nbytes))
+    blob = pickle.dumps(
+        ("shm", payload.skeleton, store.manifest),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return blob, store
+
+
 def execute_points_parallel(
     name: str,
-    points: Sequence,
-    payload: bytes,
+    todo: Sequence[Tuple[int, object]],
+    payload: WorkerPayload,
     jobs: int,
     policy,
     on_outcome: Callable,
     stop_on_failure: bool,
     fault_blob: Optional[bytes] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[object]:
-    """Run ``points`` through the pool, reporting in completion order.
+    """Run the pending points through the pool, reporting as completed.
 
+    ``todo`` pairs each point with its index into the payload's full
+    point list (resume holes make the indices non-contiguous).
     ``on_outcome(point, outcome)`` is invoked in the parent for every
     finished point.  With ``stop_on_failure`` the first exhausted point
-    stops dispatch of every not-yet-started one (strict mode);
-    already-running points are allowed to finish and are still
+    stops dispatch of every not-yet-started chunk (strict mode);
+    already-dispatched chunks are allowed to finish and are still
     reported, so everything computed gets checkpointed.  Worker
     exceptions (non-retryable evaluator errors) propagate with their
-    original type; a worker dying or hanging resubmits its point until
-    ``policy.max_attempts`` submissions are spent, after which the
-    point is reported as failed like any exhausted point.
+    original type; a worker dying or hanging resubmits every
+    unanswered entry of its chunk until ``policy.max_attempts``
+    submissions are spent, after which the point is reported as failed
+    like any exhausted point.
 
     Returns the points that were **not** executed because the pool
     degraded (repeated worker deaths exhausted the replacement
     budget), in batch order; the caller runs them sequentially.
     Normally empty.
     """
-    if not points:
+    if not todo:
         return []
-    workers_n = min(jobs, len(points))
+    by_index: Dict[int, object] = dict(todo)
+    workers_n = min(jobs, len(todo))
     try:
         # Fork keeps warm precompute caches shared copy-on-write.
         ctx = get_context("fork")
@@ -313,7 +542,14 @@ def execute_points_parallel(
         ctx = get_context()
     budget_s = _task_budget(policy)
     death_budget = max(4, 2 * workers_n)
-    pending: Deque[Tuple[object, int]] = deque((p, 0) for p in points)
+    chunk_n = resolve_chunk_size(chunk_size, len(todo), workers_n)
+    indices = [index for index, _ in todo]
+    pending: Deque[Tuple[Tuple[int, int], ...]] = deque(
+        tuple((index, 0) for index in indices[lo:lo + chunk_n])
+        for lo in range(0, len(indices), chunk_n)
+    )
+    if _metrics_enabled():
+        _obs_gauge("parallel.chunk_size", float(chunk_n))
     pool: List[_Worker] = []
     deaths = 0
     stop_feeding = False
@@ -321,13 +557,14 @@ def execute_points_parallel(
     busy = 0.0
     pool_started = time.monotonic()
     obs_flags = _aggregate.obs_flags()
+    init_blob, store = _publish_payload(payload)
 
     def _spawn() -> _Worker:
         task_r, task_w = ctx.Pipe(duplex=False)
         res_r, res_w = ctx.Pipe(duplex=False)
         process = ctx.Process(
             target=_worker_main,
-            args=(payload, obs_flags, fault_blob, task_r, res_w, os.getpid()),
+            args=(init_blob, obs_flags, fault_blob, task_r, res_w, os.getpid()),
             daemon=True,
         )
         process.start()
@@ -344,21 +581,29 @@ def execute_points_parallel(
 
     def _handle_message(worker: _Worker, blob: bytes) -> None:
         nonlocal busy, stop_feeding
-        task = worker.inflight
-        worker.inflight = None
+        chunk = worker.inflight
         message = pickle.loads(blob)
-        tag, key = message[0], message[1]
+        tag, index = message[0], message[1]
+        if chunk is not None:
+            chunk.entries.pop(index, None)
+            if not chunk.entries:
+                worker.inflight = None
+            elif budget_s is not None:
+                # Streamed progress: the watchdog budget is per point.
+                chunk.deadline = time.monotonic() + budget_s
+        point = by_index.get(index)
         if tag == "ok":
             outcome = message[2]
             _aggregate.merge_point(
                 getattr(outcome, "obs", None),
-                submitted=task.submitted if task else None,
+                submitted=chunk.submitted if chunk else None,
             )
             busy += _aggregate.busy_seconds(getattr(outcome, "obs", None))
-            on_outcome(task.point if task else None, outcome)
+            on_outcome(point, outcome)
             if stop_on_failure and not outcome.ok:
                 stop_feeding = True
             return
+        key = point.key if point is not None else f"#{index}"
         _submit, exc_blob, exc_type, exc_message = message[2:6]
         if tag == "raise":
             if exc_blob is not None:
@@ -382,35 +627,40 @@ def execute_points_parallel(
         worker.process.join(timeout=1.0)
         deaths += 1
         _obs_inc("runner.worker_deaths")
-        task = worker.inflight
+        chunk = worker.inflight
         worker.inflight = None
-        if task is not None:
-            if task.submit + 1 < policy.max_attempts:
-                pending.appendleft((task.point, task.submit + 1))
-                _obs_inc("runner.resubmissions")
-            else:
+        if chunk is not None and chunk.entries:
+            survivors: List[Tuple[int, int]] = []
+            for index, submit in chunk.entries.items():
+                point = by_index[index]
+                if submit + 1 < policy.max_attempts:
+                    survivors.append((index, submit + 1))
+                    _obs_inc("runner.resubmissions")
+                    continue
                 _obs_inc("runner.points_failed")
                 record = PointRecord(
-                    key=task.point.key,
-                    value=task.point.journal_value(),
+                    key=point.key,
+                    value=point.journal_value(),
                     status=STATUS_FAILED,
                     attempts=(
                         AttemptRecord(
-                            index=task.submit,
+                            index=submit,
                             error_type="WorkerCrash",
                             error_message=(
                                 f"worker process died ({reason}) while "
-                                f"evaluating {task.point.key!r}; submission "
-                                f"{task.submit + 1}/{policy.max_attempts}"
+                                f"evaluating {point.key!r}; submission "
+                                f"{submit + 1}/{policy.max_attempts}"
                             ),
                         ),
                     ),
                 )
                 from .executor import PointOutcome
 
-                on_outcome(task.point, PointOutcome(record=record))
+                on_outcome(point, PointOutcome(record=record))
                 if stop_on_failure:
                     stop_feeding = True
+            if survivors:
+                pending.appendleft(tuple(survivors))
         if deaths > death_budget and not degraded:
             degraded = True
             _obs_inc("runner.pool_degradations")
@@ -444,18 +694,25 @@ def execute_points_parallel(
                     for worker in pool:
                         if worker.inflight is not None or not pending:
                             continue
-                        point, submit = pending.popleft()
+                        chunk_entries = pending.popleft()
+                        first_index, first_submit = chunk_entries[0]
+                        fault_point(
+                            "pool.chunk.dispatch",
+                            point=by_index[first_index].key,
+                            submit=first_submit,
+                            size=len(chunk_entries),
+                        )
                         now = time.monotonic()
                         try:
-                            worker.task_w.send((point, submit))
+                            worker.task_w.send(chunk_entries)
                         except (BrokenPipeError, OSError):
                             # Death races the dispatch; requeue and let
                             # the sentinel path account for the worker.
-                            pending.appendleft((point, submit))
+                            pending.appendleft(chunk_entries)
                             continue
-                        worker.inflight = _Inflight(
-                            point=point,
-                            submit=submit,
+                        _obs_inc("parallel.chunks_dispatched")
+                        worker.inflight = _Chunk(
+                            entries=dict(chunk_entries),
                             submitted=now,
                             deadline=None if budget_s is None else now + budget_s,
                         )
@@ -482,35 +739,36 @@ def execute_points_parallel(
                     list(by_result) + list(by_sentinel), timeout
                 )
                 # Results first: a worker that answered and then died
-                # must deliver its answer before the death is handled.
+                # must deliver its answers before the death is handled.
                 for obj in ready:
                     worker = by_result.get(obj)
                     if worker is None or worker not in pool:
                         continue
-                    try:
-                        blob = worker.res_r.recv_bytes()
-                    except (EOFError, OSError):
-                        continue  # dead; its sentinel is in this batch
-                    _handle_message(worker, blob)
+                    while worker in pool and worker.res_r.poll(0):
+                        try:
+                            blob = worker.res_r.recv_bytes()
+                        except (EOFError, OSError):
+                            break  # dead; its sentinel is in this batch
+                        _handle_message(worker, blob)
                 for obj in ready:
                     worker = by_sentinel.get(obj)
                     if worker is None or worker not in pool:
                         continue
-                    if worker.inflight is None and worker.res_r.poll(0):
+                    while worker.res_r.poll(0):
                         # Exited right after answering; drain first.
                         try:
                             _handle_message(worker, worker.res_r.recv_bytes())
                         except (EOFError, OSError):
-                            pass  # nothing to drain after all
+                            break  # nothing to drain after all
                     _handle_death(worker, "crashed")
                 if budget_s is not None:
                     now = time.monotonic()
                     for worker in list(pool):
-                        task = worker.inflight
+                        chunk = worker.inflight
                         if (
-                            task is not None
-                            and task.deadline is not None
-                            and now >= task.deadline
+                            chunk is not None
+                            and chunk.deadline is not None
+                            and now >= chunk.deadline
                         ):
                             _reap_hang(worker)
             # Graceful shutdown: sentinel, short join, then escalate.
@@ -534,7 +792,11 @@ def execute_points_parallel(
                 worker.process.kill()
                 worker.process.join(timeout=1.0)
             worker.close()
+        if store is not None:
+            # Unlink on every exit path (normal, strict abort, SIGTERM
+            # unwind): no /dev/shm entry outlives the batch.
+            store.release()
     if degraded and pending and not stop_feeding:
-        leftover = {point.key for point, _ in pending}
-        return [point for point in points if point.key in leftover]
+        leftover = {index for entries in pending for index, _ in entries}
+        return [point for index, point in todo if index in leftover]
     return []

@@ -27,7 +27,12 @@ _SWEEP = [
 
 def _run_sweep(trace_path, jobs):
     obs.reset()
-    code = main(_SWEEP + ["--jobs", str(jobs), "--trace", str(trace_path)])
+    # --pool-mode warm: the parity contract is about the *pool* path,
+    # which "auto" would route around on a single-CPU CI runner.
+    argv = _SWEEP + ["--jobs", str(jobs), "--trace", str(trace_path)]
+    if jobs > 1:
+        argv += ["--pool-mode", "warm"]
+    code = main(argv)
     assert code == EXIT_OK
     return json.loads(trace_path.read_text())
 

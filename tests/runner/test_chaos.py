@@ -22,6 +22,7 @@ import textwrap
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro import obs
@@ -98,6 +99,7 @@ class TestChaosProperty:
                 ChaosEvaluate(),
                 policy=_policy(),
                 jobs=jobs,
+                pool_mode="warm",
                 checkpoint_path=path,
                 fault_schedule=schedule,
             )
@@ -112,6 +114,7 @@ class TestChaosProperty:
                 ChaosEvaluate(),
                 policy=_policy(),
                 jobs=jobs,
+                pool_mode="warm",
                 checkpoint_path=path,
                 resume=True,
             )
@@ -192,6 +195,7 @@ class TestWorkerDeath:
             ChaosEvaluate(),
             policy=_policy(),
             jobs=2,
+            pool_mode="warm",
             fault_schedule=schedule,
         )
         assert dict(outcome.results) == _baseline_results()
@@ -215,6 +219,7 @@ class TestWorkerDeath:
             ChaosEvaluate(),
             policy=_policy(),
             jobs=2,
+            pool_mode="warm",
             keep_going=True,
             fault_schedule=schedule,
         )
@@ -241,6 +246,7 @@ class TestWorkerDeath:
             ChaosEvaluate(),
             policy=RetryPolicy(max_attempts=20),
             jobs=2,
+            pool_mode="warm",
             fault_schedule=schedule,
         )
         assert dict(outcome.results) == _baseline_results()
@@ -271,6 +277,7 @@ class TestHangWatchdog:
             ChaosEvaluate(),
             policy=policy,
             jobs=2,
+            pool_mode="warm",
             fault_schedule=schedule,
         )
         elapsed = time.monotonic() - started
@@ -303,6 +310,7 @@ class TestPickleFault:
                 ChaosEvaluate(),
                 policy=_policy(),
                 jobs=2,
+                pool_mode="warm",
                 checkpoint_path=path,
                 fault_schedule=schedule,
             )
@@ -312,6 +320,162 @@ class TestPickleFault:
             ChaosEvaluate(),
             policy=_policy(),
             jobs=2,
+            pool_mode="warm",
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert dict(resumed.results) == _baseline_results()
+
+
+@dataclass(frozen=True, eq=False)
+class ShmTableEvaluate:
+    """Evaluator whose dense lookup table rides the shared-memory
+    handoff — the hoisting pickler extracts ``table`` so the shm fault
+    sites actually fire (a payload with no arrays ships inline)."""
+
+    table: np.ndarray
+
+    def __call__(self, point, attempt):
+        return {"value": float(self.table[int(point.value)]) + point.value}
+
+
+def _shm_evaluate():
+    # Large enough that a byte flipped at the middle of the segment
+    # (the corrupt fault) lands inside the digested array region.
+    return ShmTableEvaluate(table=np.arange(4096, dtype=np.float64) * 2.0)
+
+
+class TestShmAndChunkFaults:
+    """Targeted schedules for the warm pool's shm and chunk sites.
+
+    Same contract as the seeded sweep: identical to the fault-free
+    sequential run, or a documented error with a resumable checkpoint.
+    """
+
+    def _shm_baseline(self):
+        outcome = run_batch(
+            "chaos", specs(), _shm_evaluate(), policy=_policy(), jobs=1
+        )
+        return dict(outcome.results)
+
+    def test_corrupt_shm_segment_fails_sha256_validation(self, tmp_path):
+        # The byte flips AFTER the parent computed the digest, so every
+        # worker must refuse the table rather than compute on silently
+        # corrupt data.
+        schedule = FaultSchedule(
+            specs=(FaultSpec(site="pool.shm.export", kind="corrupt"),)
+        )
+        path = tmp_path / "ck.json"
+        with pytest.raises(RunnerError, match="SHA-256"):
+            run_batch(
+                "chaos",
+                specs(),
+                _shm_evaluate(),
+                policy=_policy(),
+                jobs=2,
+                pool_mode="warm",
+                checkpoint_path=path,
+                fault_schedule=schedule,
+            )
+        assert load_checkpoint(path, expect_run="chaos") is not None
+        resumed = run_batch(
+            "chaos",
+            specs(),
+            _shm_evaluate(),
+            policy=_policy(),
+            jobs=2,
+            pool_mode="warm",
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert dict(resumed.results) == self._shm_baseline()
+
+    def test_attach_fault_surfaces_as_documented_error(self, tmp_path):
+        # Workers re-arm the schedule from the shipped blob, so a
+        # times=1 attach fault poisons every worker's first attach; the
+        # replayed error must reach the parent verbatim.
+        schedule = FaultSchedule(
+            specs=(FaultSpec(site="pool.shm.attach", kind="raise"),)
+        )
+        path = tmp_path / "ck.json"
+        with pytest.raises(ReproError, match="pool.shm.attach"):
+            run_batch(
+                "chaos",
+                specs(),
+                _shm_evaluate(),
+                policy=_policy(),
+                jobs=2,
+                pool_mode="warm",
+                checkpoint_path=path,
+                fault_schedule=schedule,
+            )
+        assert load_checkpoint(path, expect_run="chaos") is not None
+        resumed = run_batch(
+            "chaos",
+            specs(),
+            _shm_evaluate(),
+            policy=_policy(),
+            jobs=2,
+            pool_mode="warm",
+            checkpoint_path=path,
+            resume=True,
+        )
+        assert dict(resumed.results) == self._shm_baseline()
+
+    def test_kill_at_chunk_start_resubmits_and_completes(self, metrics):
+        # chunk_size=1 pins the chunk's context point to the targeted
+        # key; the resubmission arrives at submit=1 and no longer
+        # matches the submit=0 spec.
+        schedule = FaultSchedule(
+            specs=(
+                FaultSpec(
+                    site="pool.chunk.start",
+                    kind="kill",
+                    point="p[1]",
+                    submit=0,
+                ),
+            )
+        )
+        outcome = run_batch(
+            "chaos",
+            specs(),
+            ChaosEvaluate(),
+            policy=_policy(),
+            jobs=2,
+            pool_mode="warm",
+            chunk_size=1,
+            fault_schedule=schedule,
+        )
+        assert dict(outcome.results) == _baseline_results()
+        counters = obs.snapshot()["counters"]
+        assert counters["runner.worker_deaths"] >= 1
+        assert counters["runner.resubmissions"] >= 1
+
+    def test_dispatch_fault_leaves_resumable_checkpoint(self, tmp_path):
+        # Parent-side failure while feeding the work queue: the run
+        # aborts with the injected error but the finally-path still
+        # commits whatever completed.
+        schedule = FaultSchedule(
+            specs=(FaultSpec(site="pool.chunk.dispatch", kind="raise"),)
+        )
+        path = tmp_path / "ck.json"
+        with pytest.raises(ReproError, match="pool.chunk.dispatch"):
+            run_batch(
+                "chaos",
+                specs(),
+                ChaosEvaluate(),
+                policy=_policy(),
+                jobs=2,
+                pool_mode="warm",
+                checkpoint_path=path,
+                fault_schedule=schedule,
+            )
+        assert load_checkpoint(path, expect_run="chaos") is not None
+        resumed = run_batch(
+            "chaos",
+            specs(),
+            ChaosEvaluate(),
+            policy=_policy(),
             checkpoint_path=path,
             resume=True,
         )
@@ -359,7 +523,7 @@ class TestSigtermReapsWorkers:
                 return point.value
 
             points = [PointSpec(key=f"p{{i}}", value=float(i)) for i in range(4)]
-            run_batch("sig", points, evaluate, jobs=2,
+            run_batch("sig", points, evaluate, jobs=2, pool_mode="warm",
                       checkpoint_path={str(ck)!r})
             """
         )

@@ -15,7 +15,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import RankComputationError, RunnerError
-from repro.runner import PointSpec, RetryPolicy, resolve_jobs, run_batch
+from repro.runner import (
+    POOL_MODES,
+    PointSpec,
+    RetryPolicy,
+    resolve_chunk_size,
+    resolve_jobs,
+    run_batch,
+    should_use_pool,
+    usable_cpus,
+)
 from repro.runner.checkpoint import load_checkpoint
 from repro.runner.journal import STATUS_CACHED, STATUS_COMPLETED, STATUS_FAILED
 
@@ -171,6 +180,183 @@ class TestIdentity:
             for run_jobs in (1, jobs)
         ]
         assert outcome_fingerprint(runs[0]) == outcome_fingerprint(runs[1])
+
+
+class TestPoolKnobs:
+    def test_pool_modes_exported(self):
+        assert set(POOL_MODES) == {"auto", "warm", "sequential"}
+
+    def test_sequential_mode_never_pools(self):
+        assert not should_use_pool("sequential", jobs=8, n_points=100)
+
+    def test_pool_needs_work_to_share(self):
+        assert not should_use_pool("warm", jobs=1, n_points=100)
+        assert not should_use_pool("warm", jobs=4, n_points=1)
+        assert should_use_pool("warm", jobs=2, n_points=2)
+
+    def test_auto_requires_multiple_cpus(self):
+        expected = usable_cpus() >= 2
+        assert should_use_pool("auto", jobs=4, n_points=100) is expected
+
+    def test_invalid_pool_mode_rejected(self):
+        with pytest.raises(RunnerError, match="pool_mode"):
+            run_batch(
+                "demo",
+                specs(2),
+                PicklableEvaluate(),
+                jobs=2,
+                pool_mode="tepid",
+            )
+
+    def test_negative_chunk_size_rejected(self):
+        with pytest.raises(RunnerError, match="chunk_size"):
+            run_batch(
+                "demo",
+                specs(2),
+                PicklableEvaluate(),
+                jobs=2,
+                chunk_size=-1,
+            )
+
+    def test_explicit_chunk_size_honoured(self):
+        assert resolve_chunk_size(5, n_points=100, workers=2) == 5
+
+    def test_auto_chunk_size_scales_with_batch(self):
+        # ~4 waves per worker, never 0, capped for cheap resubmission.
+        assert resolve_chunk_size(None, n_points=2, workers=4) == 1
+        assert resolve_chunk_size(None, n_points=80, workers=2) == 10
+        assert resolve_chunk_size(None, n_points=100_000, workers=2) == 32
+
+    def test_auto_fallback_runs_sequential_with_identical_results(self):
+        # pool_mode="sequential" with jobs>1 exercises the fallback
+        # dispatch deterministically on any machine: the evaluate is
+        # still pickled (portability contract) but no pool is spawned.
+        runs = [
+            run_batch(
+                "demo",
+                specs(),
+                PicklableEvaluate(),
+                jobs=jobs,
+                pool_mode=mode,
+            )
+            for jobs, mode in ((1, "auto"), (4, "sequential"))
+        ]
+        assert outcome_fingerprint(runs[0]) == outcome_fingerprint(runs[1])
+
+    def test_fallback_still_fails_fast_on_unpicklable_evaluate(self):
+        with pytest.raises(RunnerError, match="pickle"):
+            run_batch(
+                "demo",
+                specs(),
+                lambda point, attempt: None,
+                jobs=2,
+                pool_mode="sequential",
+            )
+
+
+class TestWarmPoolIdentity:
+    """The warm shared-memory pool against the sequential oracle.
+
+    ``pool_mode="warm"`` forces the real pool even on a single-CPU
+    runner, so these tests exercise shm publish/attach, chunked
+    dispatch and result streaming rather than the auto fallback.
+    """
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=9),
+        fail_mask=st.integers(min_value=0, max_value=511),
+        jobs=st.sampled_from([2, 4]),
+        chunk_size=st.sampled_from([1, 3, None]),
+    )
+    def test_property_warm_pool_equals_sequential(
+        self, n, fail_mask, jobs, chunk_size
+    ):
+        """For any failure pattern × jobs × chunking, the warm pool is
+        indistinguishable from jobs=1."""
+        fail_keys = frozenset(
+            f"p[{i}]" for i in range(n) if fail_mask & (1 << i)
+        )
+        evaluate = PicklableEvaluate(fail_keys=fail_keys)
+        seq = run_batch("demo", specs(n), evaluate, keep_going=True, jobs=1)
+        warm = run_batch(
+            "demo",
+            specs(n),
+            evaluate,
+            keep_going=True,
+            jobs=jobs,
+            pool_mode="warm",
+            chunk_size=chunk_size,
+        )
+        assert outcome_fingerprint(seq) == outcome_fingerprint(warm)
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, None])
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_checkpoints_byte_identical_to_sequential(
+        self, tmp_path, jobs, chunk_size
+    ):
+        seq_path = tmp_path / "seq.json"
+        run_batch(
+            "demo", specs(), PicklableEvaluate(), checkpoint_path=seq_path
+        )
+        warm_path = tmp_path / f"warm-{jobs}-{chunk_size}.json"
+        run_batch(
+            "demo",
+            specs(),
+            PicklableEvaluate(),
+            checkpoint_path=warm_path,
+            jobs=jobs,
+            pool_mode="warm",
+            chunk_size=chunk_size,
+        )
+        assert checkpoint_fingerprint(seq_path) == checkpoint_fingerprint(
+            warm_path
+        )
+        # Committed in batch order regardless of chunk completion order.
+        assert checkpoint_fingerprint(warm_path)[1] == [
+            s.key for s in specs()
+        ]
+
+    def test_retries_flaky_points_inside_warm_pool(self):
+        evaluate = PicklableEvaluate(flaky_keys=frozenset({"p[1]", "p[3]"}))
+        outcome = run_batch(
+            "demo",
+            specs(),
+            evaluate,
+            policy=RetryPolicy(max_attempts=2),
+            jobs=2,
+            pool_mode="warm",
+            chunk_size=3,
+        )
+        by_key = {r.key: r for r in outcome.journal.records}
+        assert len(by_key["p[1]"].attempts) == 2
+        assert by_key["p[1]"].status == STATUS_COMPLETED
+        assert outcome.results["p[1]"] == {"value": 10.0, "attempt": 1}
+
+    def test_warm_pool_resume_computes_only_missing_points(self, tmp_path):
+        path = tmp_path / "resume.json"
+        run_batch(
+            "demo",
+            specs(),
+            PicklableEvaluate(fail_keys=frozenset({"p[4]"})),
+            keep_going=True,
+            checkpoint_path=path,
+            jobs=2,
+            pool_mode="warm",
+        )
+        outcome = run_batch(
+            "demo",
+            specs(),
+            PicklableEvaluate(),
+            checkpoint_path=path,
+            resume=True,
+            jobs=2,
+            pool_mode="warm",
+        )
+        statuses = {r.key: r.status for r in outcome.journal.records}
+        assert statuses["p[4]"] == STATUS_COMPLETED
+        cached = [k for k, s in statuses.items() if s == STATUS_CACHED]
+        assert len(cached) == len(specs()) - 1
 
 
 class TestStrictParallel:

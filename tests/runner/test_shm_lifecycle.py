@@ -1,0 +1,158 @@
+"""Shared-memory lifecycle regression: no orphaned ``/dev/shm`` segments.
+
+The warm pool's handoff segment (``repro-shm-<pid>-<n>``) is owned by
+the parent: workers attach and close but never unlink, the parent
+unlinks in ``run_batch``'s finally, and the multiprocessing resource
+tracker is the backstop when the parent dies abruptly.  These tests pin
+the no-orphans contract for a clean exit, for an aborted run, for
+SIGTERM of the parent, and for SIGKILL of a worker holding the mapping
+mid-chunk.
+"""
+
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.precompute import SHM_PREFIX
+from repro.errors import RankComputationError, RunnerError
+from repro.faultkit import FaultSchedule, FaultSpec
+from repro.runner import RetryPolicy, run_batch
+
+from .test_chaos import _shm_evaluate, _wait_for
+from .test_parallel import specs
+
+SHM_DIR = Path("/dev/shm")
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+pytestmark = pytest.mark.skipif(
+    not SHM_DIR.is_dir(), reason="no /dev/shm on this platform"
+)
+
+
+def _segments(prefix=SHM_PREFIX):
+    return {p.name for p in SHM_DIR.glob(f"{prefix}-*")}
+
+
+@dataclass(frozen=True, eq=False)
+class FailingShmEvaluate:
+    """Array-carrying evaluator that always fails one point, driving
+    the strict-abort path while a segment is live."""
+
+    table: np.ndarray
+
+    def __call__(self, point, attempt):
+        if point.key == "p[1]":
+            raise RankComputationError("injected failure")
+        return float(self.table[int(point.value)])
+
+
+class TestCleanExit:
+    def test_no_segments_after_clean_run(self):
+        before = _segments()
+        outcome = run_batch(
+            "shm", specs(), _shm_evaluate(), jobs=2, pool_mode="warm"
+        )
+        assert len(outcome.results) == len(specs())
+        assert _segments() <= before
+
+    def test_no_segments_after_strict_failure(self):
+        before = _segments()
+        evaluate = FailingShmEvaluate(
+            table=np.arange(4096, dtype=np.float64)
+        )
+        with pytest.raises(RunnerError):
+            run_batch("shm", specs(), evaluate, jobs=2, pool_mode="warm")
+        assert _segments() <= before
+
+
+class TestWorkerSigkill:
+    def test_no_segments_after_worker_killed_mid_chunk(self):
+        # The killed worker dies holding an attached mapping; the
+        # parent must still be able to unlink once the batch completes.
+        before = _segments()
+        schedule = FaultSchedule(
+            specs=(
+                FaultSpec(
+                    site="pool.chunk.start",
+                    kind="kill",
+                    point="p[1]",
+                    submit=0,
+                ),
+            )
+        )
+        outcome = run_batch(
+            "shm",
+            specs(),
+            _shm_evaluate(),
+            policy=RetryPolicy(max_attempts=2),
+            jobs=2,
+            pool_mode="warm",
+            chunk_size=1,
+            fault_schedule=schedule,
+        )
+        assert len(outcome.results) == len(specs())
+        assert _segments() <= before
+
+
+class TestParentSigterm:
+    def test_sigterm_exit_143_unlinks_segment(self, tmp_path):
+        driver = textwrap.dedent(
+            f"""
+            import sys, time
+            sys.path.insert(0, {SRC!r})
+            from dataclasses import dataclass
+
+            import numpy as np
+
+            from repro.runner import PointSpec, run_batch
+
+            @dataclass(frozen=True, eq=False)
+            class Sleepy:
+                table: "np.ndarray"
+
+                def __call__(self, point, attempt):
+                    time.sleep(60.0)
+                    return float(self.table[0])
+
+            points = [PointSpec(key=f"p{{i}}", value=float(i)) for i in range(4)]
+            run_batch(
+                "shm",
+                points,
+                Sleepy(table=np.arange(4096, dtype=np.float64)),
+                jobs=2,
+                pool_mode="warm",
+            )
+            """
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", driver],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        mine = f"{SHM_PREFIX}-{proc.pid}"
+        try:
+            _wait_for(
+                lambda: _segments(prefix=mine),
+                30.0,
+                "driver never published a shared-memory segment",
+            )
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30.0)
+        finally:
+            proc.kill()
+            proc.wait(timeout=10.0)
+        assert proc.returncode == 143  # 128 + SIGTERM
+        # The signal path unwinds through run_batch's finally (and the
+        # resource tracker backstops it): the segment must disappear.
+        _wait_for(
+            lambda: not _segments(prefix=mine),
+            10.0,
+            f"orphaned shared-memory segment(s): {_segments(prefix=mine)}",
+        )

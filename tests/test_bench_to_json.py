@@ -13,9 +13,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 
-def test_bench_emits_valid_report(tmp_path):
-    out = tmp_path / "BENCH_rank.json"
-    proc = subprocess.run(
+def _run_bench(out, extra=()):
+    return subprocess.run(
         [
             sys.executable,
             str(REPO / "tools" / "bench_to_json.py"),
@@ -27,23 +26,36 @@ def test_bench_emits_valid_report(tmp_path):
             "--jobs", "2",
             "--out", str(out),
             "--kernel-repeats", "1",
+            *extra,
         ],
         capture_output=True,
         text=True,
         cwd=REPO,
     )
+
+
+def test_bench_emits_valid_report(tmp_path):
+    out = tmp_path / "BENCH_rank.json"
+    proc = _run_bench(out)
     assert proc.returncode == 0, proc.stderr
     report = json.loads(out.read_text())
     assert report["format"] == "repro.bench"
+    assert report["version"] >= 4
     assert report["batch"]["identical"] is True
     assert report["batch"]["points"] == 2
     assert report["batch"]["sequential"]["points_per_s"] > 0
     assert report["batch"]["parallel"]["points_per_s"] > 0
+    assert report["batch"]["parallel"]["pool_mode"] == "auto"
+    assert report["config"]["pool_mode"] == "auto"
+    assert report["config"]["chunk_size"] is None
     assert report["solver_stats"]["rank"] > 0
     assert set(report["stages"]) == {
         "davis_wld_s", "coarsen_s", "tables_s", "solve_dp_s"
     }
     assert report["machine"]["cpu_count"] >= 1
+    # Both CPU views recorded: the affinity mask is what bounds real
+    # parallelism on cgroup-limited runners.
+    assert 1 <= report["machine"]["cpu_affinity"]
     # Kernel section: both DP backends ran, agreed on the rank (bench()
     # raises otherwise), and reported positive timings.
     kernel = report["kernel"]
@@ -57,3 +69,17 @@ def test_bench_emits_valid_report(tmp_path):
     # Sequential run reuses the warmed coarse WLD on every point.
     seq_cache = report["precompute_cache"]["sequential"]
     assert seq_cache["hits"]["coarsened"] == 2
+
+
+def test_bench_warm_pool_still_identical(tmp_path):
+    # --pool-mode warm forces the real shared-memory pool even on a
+    # single-CPU runner; the divergence gate must still pass.
+    out = tmp_path / "BENCH_warm.json"
+    proc = _run_bench(
+        out, extra=("--pool-mode", "warm", "--chunk-size", "1")
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(out.read_text())
+    assert report["batch"]["identical"] is True
+    assert report["batch"]["parallel"]["pool_mode"] == "warm"
+    assert report["batch"]["parallel"]["chunk_size"] == 1

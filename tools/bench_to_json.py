@@ -16,8 +16,12 @@ Run from the repository root::
 
 The output schema is documented in docs/usage.md ("Reading
 BENCH_rank.json").  Wall-clock numbers are machine-dependent by
-nature; ``machine.cpu_count`` is recorded so a speedup below the
-worker count on a starved runner can be interpreted honestly.
+nature; ``machine.cpu_count`` and ``machine.cpu_affinity`` are both
+recorded — on cgroup-limited CI runners only the affinity mask bounds
+real parallelism — so a speedup below the worker count on a starved
+runner can be interpreted honestly.  On a multi-core machine
+(affinity >= 2) a batch speedup below 1.0 fails the run: the pool must
+never be slower than sequential.
 """
 
 from __future__ import annotations
@@ -36,8 +40,19 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 BENCH_FORMAT = "repro.bench"
 #: v2 added the ``metrics`` section (registry snapshot of the run);
 #: v3 added the ``kernel`` section (numpy-vs-python DP backend timings
-#: from :func:`repro.api.bench`, with cross-backend rank validation).
-BENCH_VERSION = 3
+#: from :func:`repro.api.bench`, with cross-backend rank validation);
+#: v4 added ``machine.cpu_affinity``, the warm-pool knobs
+#: (``config.pool_mode`` / ``config.chunk_size``) and the
+#: never-slower-than-sequential gate on multi-core machines.
+BENCH_VERSION = 4
+
+
+def _cpu_affinity() -> int:
+    """CPUs this process may run on (what bounds real parallelism)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def _timed(fn):
@@ -142,7 +157,13 @@ def run_bench(args) -> dict:
     cache_par = PrecomputeCache()
     par, par_s = _timed(
         lambda: sweep_fn(
-            problem, values=values, jobs=args.jobs, cache=cache_par, **options
+            problem,
+            values=values,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size or None,
+            pool_mode=args.pool_mode,
+            cache=cache_par,
+            **options,
         )
     )
 
@@ -164,9 +185,12 @@ def run_bench(args) -> dict:
             "sweep": args.sweep,
             "points": n_points,
             "jobs": args.jobs,
+            "pool_mode": args.pool_mode,
+            "chunk_size": args.chunk_size or None,
         },
         "machine": {
             "cpu_count": os.cpu_count(),
+            "cpu_affinity": _cpu_affinity(),
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
@@ -193,6 +217,8 @@ def run_bench(args) -> dict:
             },
             "parallel": {
                 "jobs": args.jobs,
+                "pool_mode": args.pool_mode,
+                "chunk_size": args.chunk_size or None,
                 "wall_s": par_s,
                 "points_per_s": n_points / par_s if par_s > 0 else None,
             },
@@ -241,6 +267,19 @@ def main(argv=None) -> int:
         "--jobs", type=int, default=4, help="parallel workers (0 = one per CPU)"
     )
     parser.add_argument(
+        "--pool-mode",
+        default="auto",
+        choices=("auto", "warm", "sequential"),
+        help="worker pool mode for the parallel sweep (auto falls back "
+        "to sequential on a single-CPU machine)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=0,
+        help="points per work-queue chunk (0 = automatic)",
+    )
+    parser.add_argument(
         "--kernel-repeats",
         type=int,
         default=3,
@@ -266,14 +305,15 @@ def main(argv=None) -> int:
     Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
 
     batch = report["batch"]
+    affinity = report["machine"]["cpu_affinity"]
     print(
         f"wrote {args.out}: {batch['points']} points, "
         f"seq {batch['sequential']['wall_s']:.2f}s "
         f"({batch['sequential']['points_per_s']:.2f} pts/s), "
-        f"par[{args.jobs}] {batch['parallel']['wall_s']:.2f}s "
+        f"par[{args.jobs}/{args.pool_mode}] {batch['parallel']['wall_s']:.2f}s "
         f"({batch['parallel']['points_per_s']:.2f} pts/s), "
         f"speedup {batch['speedup']:.2f}x on "
-        f"{report['machine']['cpu_count']} CPUs"
+        f"{report['machine']['cpu_count']} CPUs ({affinity} usable)"
     )
     kernel = report["kernel"]
     speedup = kernel["speedup_numpy_over_python"]
@@ -292,6 +332,17 @@ def main(argv=None) -> int:
         print(
             f"ERROR: numpy backend slower than python ({speedup:.2f}x) — "
             "the vectorized kernels have regressed",
+            file=sys.stderr,
+        )
+        return 1
+    # Never-slower gate: with >= 2 usable CPUs the warm pool (or the
+    # auto fallback) must at least break even against sequential.
+    batch_speedup = batch["speedup"]
+    if affinity >= 2 and batch_speedup is not None and batch_speedup < 1.0:
+        print(
+            f"ERROR: parallel batch slower than sequential "
+            f"({batch_speedup:.2f}x on {affinity} usable CPUs) — "
+            "the worker pool has regressed",
             file=sys.stderr,
         )
         return 1
