@@ -12,7 +12,7 @@ rank-vs-layers Pareto frontier, and verify two structural findings:
   wins.
 """
 
-from repro.optimize import DesignSpace, optimize_architecture
+from repro.api import DesignSpace, optimize_rank
 from repro.reporting.text import format_table
 
 from .conftest import BENCH_GATES, run_once
@@ -33,7 +33,7 @@ def test_architecture_optimization(benchmark):
     )
     outcome = run_once(
         benchmark,
-        lambda: optimize_architecture(
+        lambda: optimize_rank(
             problem,
             space,
             exhaustive_limit=200,
@@ -60,7 +60,7 @@ def test_architecture_optimization(benchmark):
 
     # The honest variant: the Miller factor must be bought with shield
     # tracks (3x routing per signal at M=1.0).
-    honest = optimize_architecture(
+    honest = optimize_rank(
         problem,
         space,
         exhaustive_limit=200,

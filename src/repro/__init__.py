@@ -76,22 +76,30 @@ from .wld import (
     davis_wld,
 )
 
-# The stable facade.  ``api.optimize`` is NOT re-exported at top level:
-# that name belongs to the ``repro.optimize`` subpackage, and shadowing
-# it would break ``import repro.optimize.search``-style imports.  Use
-# ``repro.api.optimize`` (or the long-standing ``optimize_architecture``
-# alias above).
+# The stable facade.  The bare name ``api.optimize`` is NOT re-exported
+# at top level: that name belongs to the ``repro.optimize`` subpackage,
+# and shadowing it would break ``import repro.optimize.search``-style
+# imports.  The facade-named ``optimize_rank`` alias (same callable) is
+# what the top level carries instead.
 from . import api
 from .api import (
+    SCHEMA_VERSION,
+    CornersRequest,
     FaultSchedule,
     FaultSpec,
+    OptimizeRequest,
     PrecomputeCache,
+    RankRequest,
+    RankResponse,
+    SweepRequest,
     bench,
     budget_curve,
     compute_rank,
     corners,
     load_node,
+    optimize_rank,
     parse_fault_schedule,
+    solve_rank_request,
     sweep,
 )
 
@@ -115,11 +123,13 @@ __all__ = [
     "solve_rank_greedy",
     "solve_rank_reference",
     "solve_rank_exhaustive",
-    # stable facade (repro.api); api.optimize stays namespaced to avoid
-    # shadowing the repro.optimize subpackage
+    # stable facade (repro.api); the bare ``api.optimize`` stays
+    # namespaced to avoid shadowing the repro.optimize subpackage —
+    # ``optimize_rank`` is the top-level spelling of the same callable
     "api",
     "sweep",
     "corners",
+    "optimize_rank",
     "budget_curve",
     "load_node",
     "bench",
@@ -127,6 +137,14 @@ __all__ = [
     "FaultSchedule",
     "FaultSpec",
     "parse_fault_schedule",
+    # v1 wire schema (repro.schema)
+    "SCHEMA_VERSION",
+    "RankRequest",
+    "SweepRequest",
+    "CornersRequest",
+    "OptimizeRequest",
+    "RankResponse",
+    "solve_rank_request",
     # technology
     "TechnologyNode",
     "MetalRule",

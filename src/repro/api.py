@@ -44,6 +44,15 @@ from .core.rank import compute_rank as _compute_rank_impl
 from .core.scenarios import baseline_problem
 from .errors import RankComputationError
 from .faultkit import FaultSchedule, FaultSpec, parse_fault_schedule
+from .optimize.space import DesignSpace
+from .schema import (
+    SCHEMA_VERSION,
+    CornersRequest,
+    OptimizeRequest,
+    RankRequest,
+    RankResponse,
+    SweepRequest,
+)
 from .tech.io import load_node
 
 __all__ = [
@@ -51,6 +60,7 @@ __all__ = [
     "sweep",
     "corners",
     "optimize",
+    "optimize_rank",
     "budget_curve",
     "load_node",
     "bench",
@@ -58,6 +68,7 @@ __all__ = [
     # benchmarks — see lintkit rule RPL004) never reach into
     # repro.core directly:
     "baseline_problem",
+    "DesignSpace",
     "PrecomputeCache",
     "RankProblem",
     "RankResult",
@@ -66,6 +77,16 @@ __all__ = [
     "FaultSchedule",
     "FaultSpec",
     "parse_fault_schedule",
+    # The v1 wire schema (repro.schema): typed, canonicalizable,
+    # fingerprinted requests — what the service, CLI, and persistence
+    # construct instead of ad-hoc kwarg dicts.
+    "SCHEMA_VERSION",
+    "RankRequest",
+    "SweepRequest",
+    "CornersRequest",
+    "OptimizeRequest",
+    "RankResponse",
+    "solve_rank_request",
 ]
 
 #: Legacy positional parameter order of ``compute_rank`` (everything
@@ -208,6 +229,40 @@ def optimize(
     from .optimize.search import optimize_architecture
 
     return optimize_architecture(problem, space, backend=backend, **options)
+
+
+#: Facade-named alias of :func:`optimize`, re-exported from the
+#: :mod:`repro` top level.  The bare name ``optimize`` cannot live
+#: there — it would shadow the ``repro.optimize`` subpackage and break
+#: ``import repro.optimize.search`` — so the top level carries this
+#: non-shadowing spelling instead; ``repro.api.optimize`` remains the
+#: namespaced original.
+optimize_rank = optimize
+
+
+def solve_rank_request(
+    request: RankRequest,
+    *,
+    cache: Optional[PrecomputeCache] = None,
+    deadline: Optional[float] = None,
+) -> RankResult:
+    """Solve one typed :class:`~repro.schema.RankRequest`.
+
+    The request carries the problem definition (node, gates, knobs)
+    and the solve options; ``deadline`` (absolute ``time.monotonic()``,
+    overriding the request's relative ``deadline_s`` when given) and
+    ``cache`` are execution-context concerns supplied by the caller —
+    the service passes its process-wide :class:`PrecomputeCache` and
+    the per-request deadline here.
+    """
+    problem = baseline_problem(
+        request.node, request.gates, **request.problem_kwargs()
+    )
+    if deadline is None and request.deadline_s is not None:
+        deadline = time.monotonic() + request.deadline_s
+    return compute_rank(
+        problem, deadline=deadline, cache=cache, **request.solve_kwargs()
+    )
 
 
 def budget_curve(

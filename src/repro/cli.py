@@ -87,9 +87,16 @@ from .analysis.sweep import (
     sweep_permittivity,
     sweep_repeater_fraction,
 )
-from .api import baseline_problem, compute_rank, parse_fault_schedule
+from .api import (
+    DesignSpace,
+    RankRequest,
+    baseline_problem,
+    compute_rank,
+    optimize_rank,
+    parse_fault_schedule,
+    solve_rank_request,
+)
 from .errors import ReproError
-from .optimize import DesignSpace, optimize_architecture
 from .reporting.tables import format_node_table, format_sweep_table, sweep_to_csv
 from .reporting.text import format_run_journal, format_table
 from .runner import RetryPolicy
@@ -344,15 +351,42 @@ def _problem_from_args(args: argparse.Namespace):
     )
 
 
-def _cmd_rank(args: argparse.Namespace) -> int:
-    problem = _problem_from_args(args)
-    result = compute_rank(
-        problem,
+def _rank_request_from_args(args: argparse.Namespace) -> RankRequest:
+    """The typed request equivalent of the design flags.
+
+    The CLI constructs the same :class:`~repro.schema.RankRequest` the
+    HTTP service canonicalizes, so a command line and a ``/v1/rank``
+    body with the same knobs produce the same fingerprint — and hit
+    the same caches.
+    """
+    return RankRequest(
+        node=args.node,
+        gates=args.gates,
+        clock_frequency=args.clock_frequency,
+        repeater_fraction=args.repeater_fraction,
+        permittivity=args.permittivity,
+        miller_factor=args.miller_factor,
         solver=args.solver,
         bunch_size=args.bunch_size or None,
         repeater_units=args.repeater_units,
         backend=args.backend,
     )
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    if getattr(args, "node_file", ""):
+        # Custom node files describe problems outside the wire schema's
+        # by-name node vocabulary; they keep the direct path.
+        problem = _problem_from_args(args)
+        result = compute_rank(
+            problem,
+            solver=args.solver,
+            bunch_size=args.bunch_size or None,
+            repeater_units=args.repeater_units,
+            backend=args.backend,
+        )
+    else:
+        result = solve_rank_request(_rank_request_from_args(args))
     print(result.summary())
     return 0
 
@@ -406,7 +440,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         miller_factors=tuple(float(m) for m in args.m_classes.split(",")),
         max_metal_layers=args.max_layers,
     )
-    outcome = optimize_architecture(
+    outcome = optimize_rank(
         problem,
         space,
         exhaustive_limit=args.exhaustive_limit,
@@ -564,6 +598,25 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred: the service stack (asyncio server, executor pool) is
+    # only paid for by the one subcommand that runs it.
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        executor_mode=args.executor_mode,
+        queue_depth=args.queue_depth,
+        cache_entries=args.cache_entries,
+        precompute_entries=args.precompute_entries,
+        default_deadline_s=args.default_deadline_s or None,
+        warm_on_start=not args.no_warm,
+    )
+    return serve(config)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -644,6 +697,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_args(p_corners)
     _add_obs_args(p_corners)
     p_corners.set_defaults(func=_cmd_corners)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP/JSON rank service (rank-as-a-service)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument(
+        "--port", type=int, default=8421, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="solve workers; with >= 2 on a multi-core host an 'auto' "
+        "executor forks a warm worker pool",
+    )
+    p_serve.add_argument(
+        "--executor-mode",
+        default="auto",
+        choices=("auto", "thread", "process"),
+        help="where solves run: in-process threads, forked warm "
+        "workers, or 'auto' (threads unless >= 2 workers and CPUs)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="queued solves beyond the busy workers before requests "
+        "are rejected with 429 + Retry-After",
+    )
+    p_serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        metavar="N",
+        help="memoized responses kept (LRU, keyed by request fingerprint)",
+    )
+    p_serve.add_argument(
+        "--precompute-entries",
+        type=int,
+        default=8,
+        metavar="N",
+        help="coarsened-table cache entries per solve process",
+    )
+    p_serve.add_argument(
+        "--default-deadline-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="deadline for requests that do not set deadline_s "
+        "(0 disables; per-request values are capped at 300s)",
+    )
+    p_serve.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="skip pre-solving the baseline request at startup",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_stats = sub.add_parser(
         "stats",

@@ -57,6 +57,18 @@ from ..obs.metrics import inc as _obs_inc
 DEFAULT_CACHE_ENTRIES = 32
 
 
+def fingerprint_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw bytes.
+
+    The one digest primitive every content-addressed key in the
+    library shares: the pickle-based :func:`fingerprint` below, the
+    shared-memory segment digests, and the wire-schema request
+    fingerprints (:mod:`repro.schema`) that key the service's
+    memoization cache.
+    """
+    return hashlib.sha256(data).hexdigest()
+
+
 def fingerprint(obj: object) -> str:
     """Content fingerprint: SHA-256 over the object's pickle.
 
@@ -65,9 +77,9 @@ def fingerprint(obj: object) -> str:
     equal bytes.  A differing fingerprint for equal values is safe — it
     only costs a cache miss, never a wrong hit.
     """
-    return hashlib.sha256(
+    return fingerprint_bytes(
         pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    ).hexdigest()
+    )
 
 
 class PrecomputeCache:

@@ -101,6 +101,16 @@ class FaultInjectionError(ReproError):
     """
 
 
+class SchemaError(ReproError):
+    """A wire-schema payload failed validation.
+
+    Raised by :mod:`repro.schema` for unknown fields, wrong types,
+    non-finite numbers, or an unsupported ``schema_version``; the
+    message always names the offending field.  The HTTP service maps
+    it to a ``400 Bad Request``.
+    """
+
+
 class InjectedFault(ReproError):
     """An exception deliberately raised by the fault-injection subsystem.
 

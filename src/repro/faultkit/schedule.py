@@ -52,6 +52,8 @@ SITES: Tuple[str, ...] = (
     "checkpoint.write.post",
     "precompute.coarsen",
     "precompute.tables",
+    "service.request.start",
+    "service.solve.start",
 )
 
 #: Sites that only fire inside pool worker processes.  ``kill``/``hang``

@@ -2,9 +2,14 @@
 
 :mod:`repro.api` is the stable, keyword-only public surface (PR 4);
 ``repro.core`` and ``repro.assign`` are implementation internals whose
-signatures may churn freely.  Caller layers — the CLI, ``analysis/``,
-``tools/``, ``benchmarks/`` — must import the facade so internal
-refactors never ripple outward.
+signatures may churn freely.  Caller layers — the CLI, the HTTP
+serving layer (``service/``), ``analysis/``, ``tools/``,
+``benchmarks/`` — must import the facade so internal refactors never
+ripple outward.  The facade carries non-shadowing spellings where the
+obvious name collides with a subpackage (``api.optimize_rank`` for
+``api.optimize``, which cannot be re-exported at top level without
+shadowing ``repro.optimize``), so no caller layer has a structural
+excuse to reach inside.
 
 Flagged: any ``import``/``from`` of ``repro.core``/``repro.assign`` (or
 their relative spellings ``from .core ...`` / ``from ..assign ...``)
@@ -30,6 +35,7 @@ from ..registry import Rule, register
 SCOPED_PATHS = (
     "src/repro/cli.py",
     "src/repro/analysis",
+    "src/repro/service",
     "tools",
     "benchmarks",
 )
@@ -43,9 +49,10 @@ class FacadeBoundaryRule(Rule):
     code = "RPL004"
     name = "facade-boundary"
     description = (
-        "Caller layers (cli.py, analysis/, tools/, benchmarks/) must "
-        "import the stable repro.api facade, not repro.core / "
-        "repro.assign internals; TYPE_CHECKING-only imports are exempt."
+        "Caller layers (cli.py, service/, analysis/, tools/, "
+        "benchmarks/) must import the stable repro.api facade, not "
+        "repro.core / repro.assign internals; TYPE_CHECKING-only "
+        "imports are exempt."
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -2,11 +2,13 @@
 
 from .persist import (
     load_rank_result,
+    load_request,
     load_sweep,
     rank_result_from_dict,
     rank_result_to_dict,
     read_versioned_json,
     save_rank_result,
+    save_request,
     save_sweep,
     write_json_atomic,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "load_rank_result",
     "save_sweep",
     "load_sweep",
+    "save_request",
+    "load_request",
     "rank_result_to_dict",
     "rank_result_from_dict",
     "write_json_atomic",

@@ -22,8 +22,9 @@ from typing import Union
 from ..analysis.sweep import SweepPoint, SweepResult
 from ..core.dp import SolverStats, WitnessSegment
 from ..core.rank import RankResult
-from ..errors import ReproError
+from ..errors import ReproError, SchemaError
 from ..runner.journal import PointFailure
+from ..schema import REQUEST_TYPES
 
 PathLike = Union[str, Path]
 
@@ -200,6 +201,57 @@ def save_sweep(sweep: SweepResult, path: PathLike) -> None:
     if sweep.failures:
         payload["failures"] = [f.to_dict() for f in sweep.failures]
     write_json_atomic(payload, path)
+
+
+def save_request(request: object, path: PathLike) -> None:
+    """Write one typed wire-schema request (see :mod:`repro.schema`).
+
+    The canonical form is persisted — sorted keys, defaults filled,
+    units normalized — so a saved request re-fingerprints identically
+    on load.  Transport-only fields (``deadline_s``, ``backend``,
+    ``allow_partial``) are not part of the canonical form and are not
+    persisted: a stored request records *what* was asked, not how one
+    particular serving of it was scheduled.
+    """
+    kind = next(
+        (k for k, cls in REQUEST_TYPES.items() if type(request) is cls), None
+    )
+    if kind is None:
+        raise ReproError(
+            f"save_request() takes a repro.schema request type, "
+            f"got {type(request).__name__}"
+        )
+    payload = {
+        "format": "repro.request",
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "request": request.canonicalize(),  # type: ignore[attr-defined]
+    }
+    write_json_atomic(payload, path)
+
+
+def load_request(path: PathLike) -> object:
+    """Read a request written by :func:`save_request`.
+
+    Returns the typed request (``RankRequest``/``SweepRequest``/...)
+    for its recorded ``kind``; the payload re-validates through
+    ``from_wire``, so a hand-edited file fails loudly, not subtly.
+    """
+    payload = read_versioned_json(path, "repro.request")
+    kind = payload.get("kind")
+    request_type = REQUEST_TYPES.get(kind) if isinstance(kind, str) else None
+    if request_type is None:
+        raise ReproError(
+            f"{path}: unknown request kind {kind!r} "
+            f"(expected one of {sorted(REQUEST_TYPES)})"
+        )
+    body = payload.get("request")
+    if not isinstance(body, dict):
+        raise ReproError(f"{path}: 'request' must be a JSON object")
+    try:
+        return request_type.from_wire(body)
+    except SchemaError as exc:
+        raise ReproError(f"{path}: invalid request payload: {exc}") from exc
 
 
 def load_sweep(path: PathLike) -> SweepResult:

@@ -69,6 +69,7 @@ cannot cross the process boundary, so a pickling failure surfaces as a
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing.context
 import os
 import pickle
 import signal
@@ -155,6 +156,21 @@ def usable_cpus() -> int:
         return max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):
         return max(1, os.cpu_count() or 1)
+
+
+def fork_context() -> "multiprocessing.context.BaseContext":
+    """The multiprocessing context warm pools spawn workers from.
+
+    Fork keeps warm precompute caches shared copy-on-write, so it is
+    preferred wherever the platform offers it; elsewhere (no ``fork``
+    start method) the platform default is used.  Shared between the
+    batch pool here and the serving layer's solve pool
+    (:mod:`repro.service.executor`).
+    """
+    try:
+        return get_context("fork")
+    except ValueError:
+        return get_context()
 
 
 def should_use_pool(pool_mode: str, jobs: int, n_points: int) -> bool:
@@ -535,11 +551,7 @@ def execute_points_parallel(
         return []
     by_index: Dict[int, object] = dict(todo)
     workers_n = min(jobs, len(todo))
-    try:
-        # Fork keeps warm precompute caches shared copy-on-write.
-        ctx = get_context("fork")
-    except ValueError:
-        ctx = get_context()
+    ctx = fork_context()
     budget_s = _task_budget(policy)
     death_budget = max(4, 2 * workers_n)
     chunk_n = resolve_chunk_size(chunk_size, len(todo), workers_n)

@@ -1,0 +1,13 @@
+"""``python -m repro.service`` — start the server with default knobs.
+
+The full flag surface lives on ``ia-rank serve`` (see
+:mod:`repro.cli`); this entry point exists so the service can be
+launched from environments that only have the package importable.
+"""
+
+import sys
+
+from ..cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

@@ -1,0 +1,197 @@
+"""Bounded solve executor: warm workers behind a backpressured queue.
+
+Heavy solves must never run on the event loop, so every cache miss is
+dispatched here.  Two modes share one interface:
+
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` in-process.  The
+    default on single-CPU hosts, where forked workers only add IPC and
+    scheduling overhead (the same reasoning as the batch runner's
+    ``pool_mode="auto"`` gate); all workers share one lock-wrapped
+    :class:`~repro.api.PrecomputeCache`, so repeated near-identical
+    requests stay table-warm.
+
+``process``
+    A warm forked worker pool (PR 7 lineage: long-lived workers, fork
+    start method so the parent's pre-warmed caches arrive
+    copy-on-write).  Chosen automatically with >= 2 workers on >= 2
+    usable CPUs; survives worker death by recycling the pool.
+
+Capacity is ``workers + queue_depth`` jobs in flight; a submit beyond
+that raises :class:`ServiceOverloaded`, which the HTTP layer maps to
+``429 Too Many Requests`` with a ``Retry-After`` hint.  Bounding the
+queue is what turns overload into fast, explicit rejection instead of
+unbounded latency growth.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from .. import obs
+from ..errors import ReproError
+from ..runner.parallel import fork_context, usable_cpus
+from . import solve
+
+__all__ = ["ServiceOverloaded", "SolveExecutor", "resolve_mode"]
+
+#: Executor modes (``auto`` resolves to one of the other two).
+MODES = ("auto", "thread", "process")
+
+
+class ServiceOverloaded(ReproError):
+    """The solve queue is full; the caller should retry later.
+
+    Carries ``retry_after_s``, the server's hint for the HTTP
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+def resolve_mode(mode: str, workers: int) -> str:
+    """Concrete executor mode for a requested one.
+
+    ``auto`` picks forked workers only when both the worker count and
+    the usable-CPU count justify them — the serving twin of the batch
+    runner's never-slower-than-sequential pool gate.
+    """
+    if mode not in MODES:
+        raise ReproError(f"executor mode must be one of {MODES}, got {mode!r}")
+    if mode != "auto":
+        return mode
+    if workers >= 2 and usable_cpus() >= 2:
+        return "process"
+    return "thread"
+
+
+class SolveExecutor:
+    """Dispatch picklable solve jobs to warm workers, with backpressure."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        queue_depth: int = 16,
+        mode: str = "auto",
+        precompute_entries: int = 8,
+        warm: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers!r}")
+        if queue_depth < 0:
+            raise ReproError(f"queue_depth must be >= 0, got {queue_depth!r}")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.mode = resolve_mode(mode, workers)
+        self.capacity = workers + queue_depth
+        self._precompute_entries = precompute_entries
+        self._warm = dict(warm) if warm is not None else None
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._pool: Optional[Executor] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Create the pool and warm the solve state.
+
+        In both modes the parent process configures (and optionally
+        pre-solves) the precompute cache first, so thread workers share
+        it directly and forked workers inherit it copy-on-write.
+        """
+        solve.configure(self._precompute_entries, warm=self._warm)
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> Executor:
+        if self.mode == "process":
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=fork_context(),
+                initializer=solve.configure,
+                initargs=(self._precompute_entries, None),
+            )
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-solve"
+        )
+
+    def close(self) -> None:
+        """Shut the pool down; queued-but-unstarted jobs are dropped."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Queue one job; raises :class:`ServiceOverloaded` when full."""
+        with self._lock:
+            if self._closed or self._pool is None:
+                raise ReproError("solve executor is not running")
+            if self._inflight >= self.capacity:
+                obs.inc("service.backpressure.rejections")
+                raise ServiceOverloaded(
+                    f"solve queue is full ({self._inflight} jobs in flight, "
+                    f"capacity {self.capacity}); retry later",
+                    retry_after_s=1.0,
+                )
+            self._inflight += 1
+            pool = self._pool
+        try:
+            future = pool.submit(fn, *args)
+        except (RuntimeError, BrokenProcessPool):
+            with self._lock:
+                self._inflight -= 1
+            raise
+        future.add_done_callback(self._on_done)
+        return future
+
+    def _on_done(self, future: "Future[Any]") -> None:
+        with self._lock:
+            self._inflight -= 1
+        exc = future.exception()
+        if isinstance(exc, BrokenProcessPool):
+            self.recycle()
+
+    def recycle(self) -> None:
+        """Replace a broken process pool with a fresh one.
+
+        Called when a forked worker died mid-job (OOM kill, injected
+        ``kill`` fault): jobs that were in the dead pool have already
+        failed with :class:`BrokenProcessPool`; new submissions land in
+        the replacement.
+        """
+        with self._lock:
+            if self._closed or self.mode != "process":
+                return
+            old, self._pool = self._pool, None
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        obs.inc("service.pool.recycles")
+        pool = self._make_pool()
+        with self._lock:
+            if self._closed:
+                pool.shutdown(wait=False)
+            else:
+                self._pool = pool
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Executor state for ``/v1/healthz`` and ``/v1/metrics``."""
+        with self._lock:
+            return {
+                "mode": self.mode,
+                "workers": self.workers,
+                "queue_depth": self.queue_depth,
+                "capacity": self.capacity,
+                "inflight": self._inflight,
+            }

@@ -1,0 +1,79 @@
+"""Bounded LRU memoization of serialized responses.
+
+The service memoizes at the *response-bytes* level: the key is a
+request fingerprint (SHA-256 over canonical JSON, see
+:meth:`repro.schema._Request.fingerprint`), the value the exact body
+bytes previously sent.  A hit therefore replays a byte-identical
+response — the acceptance contract of the serving layer — and costs a
+dict lookup instead of a DP solve.
+
+Thread-safe: handlers run on the event loop, but ``/v1/metrics`` and
+tests may read stats from other threads, and locking an OrderedDict
+move-to-end is too cheap to argue about.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .. import obs
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """LRU map of request fingerprint -> serialized response body."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, fingerprint: str) -> Optional[bytes]:
+        """The memoized body for ``fingerprint``, or ``None``."""
+        with self._lock:
+            body = self._entries.get(fingerprint)
+            if body is None:
+                self._misses += 1
+                obs.inc("service.cache.misses")
+                return None
+            self._entries.move_to_end(fingerprint)
+            self._hits += 1
+            obs.inc("service.cache.hits")
+            return body
+
+    def put(self, fingerprint: str, body: bytes) -> None:
+        """Memoize ``body``; evicts the least-recently-used entry."""
+        with self._lock:
+            self._entries[fingerprint] = body
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                obs.inc("service.cache.evictions")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``/v1/metrics`` and tests."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

@@ -1,0 +1,128 @@
+"""SolveExecutor: mode resolution, backpressure, lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.executor import ServiceOverloaded, SolveExecutor, resolve_mode
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def release_after(event):
+    """Module-level so it stays picklable if a process pool runs it."""
+    event.wait(10.0)
+    return "done"
+
+
+class TestResolveMode:
+    def test_explicit_modes_pass_through(self):
+        assert resolve_mode("thread", 8) == "thread"
+        assert resolve_mode("process", 1) == "process"
+
+    def test_auto_single_worker_is_thread(self):
+        assert resolve_mode("auto", 1) == "thread"
+
+    def test_auto_multi_worker_respects_cpus(self):
+        resolved = resolve_mode("auto", 4)
+        assert resolved in ("thread", "process")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError, match="mode"):
+            resolve_mode("fibers", 2)
+
+
+class TestConstruction:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ReproError, match="workers"):
+            SolveExecutor(workers=0)
+
+    def test_rejects_negative_queue_depth(self):
+        with pytest.raises(ReproError, match="queue_depth"):
+            SolveExecutor(workers=1, queue_depth=-1)
+
+    def test_capacity_is_workers_plus_queue(self):
+        executor = SolveExecutor(workers=2, queue_depth=3, mode="thread")
+        assert executor.capacity == 5
+
+    def test_submit_before_start_rejected(self):
+        executor = SolveExecutor(workers=1, mode="thread")
+        with pytest.raises(ReproError, match="not running"):
+            executor.submit(sorted, [3, 1, 2])
+
+
+class TestBackpressure:
+    def test_submits_beyond_capacity_rejected(self):
+        executor = SolveExecutor(workers=1, queue_depth=1, mode="thread")
+        executor.start()
+        gate = threading.Event()
+        try:
+            running = executor.submit(release_after, gate)   # occupies worker
+            queued = executor.submit(release_after, gate)    # occupies queue
+            with pytest.raises(ServiceOverloaded) as excinfo:
+                executor.submit(release_after, gate)
+            assert excinfo.value.retry_after_s > 0
+            gate.set()
+            assert running.result(timeout=5) == "done"
+            assert queued.result(timeout=5) == "done"
+        finally:
+            gate.set()
+            executor.close()
+
+    def test_capacity_frees_as_jobs_finish(self):
+        executor = SolveExecutor(workers=1, queue_depth=0, mode="thread")
+        executor.start()
+        gate = threading.Event()
+        try:
+            first = executor.submit(release_after, gate)
+            with pytest.raises(ServiceOverloaded):
+                executor.submit(release_after, gate)
+            gate.set()
+            assert first.result(timeout=5) == "done"
+            assert wait_until(lambda: executor.stats()["inflight"] == 0)
+            again = executor.submit(sorted, [2, 1])
+            assert again.result(timeout=5) == [1, 2]
+        finally:
+            gate.set()
+            executor.close()
+
+    def test_failed_job_still_frees_capacity(self):
+        executor = SolveExecutor(workers=1, queue_depth=0, mode="thread")
+        executor.start()
+        try:
+            bad = executor.submit(int, "not a number")
+            with pytest.raises(ValueError):
+                bad.result(timeout=5)
+            assert wait_until(lambda: executor.stats()["inflight"] == 0)
+        finally:
+            executor.close()
+
+
+class TestLifecycle:
+    def test_stats_shape(self):
+        executor = SolveExecutor(workers=2, queue_depth=4, mode="thread")
+        executor.start()
+        try:
+            stats = executor.stats()
+            assert stats["mode"] == "thread"
+            assert stats["workers"] == 2
+            assert stats["capacity"] == 6
+            assert stats["inflight"] == 0
+        finally:
+            executor.close()
+
+    def test_submit_after_close_rejected(self):
+        executor = SolveExecutor(workers=1, mode="thread")
+        executor.start()
+        executor.close()
+        with pytest.raises(ReproError, match="not running"):
+            executor.submit(sorted, [1])

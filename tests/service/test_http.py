@@ -1,0 +1,165 @@
+"""Unit tests for the hand-rolled HTTP/1.1 layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.http import (
+    MAX_HEADERS,
+    HttpError,
+    json_error_body,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw, max_body_bytes=1 << 20):
+    """Feed raw bytes to the parser on a fresh reader."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body_bytes=max_body_bytes)
+
+    return asyncio.run(run())
+
+
+def parse_error(raw, max_body_bytes=1 << 20):
+    with pytest.raises(HttpError) as excinfo:
+        parse(raw, max_body_bytes=max_body_bytes)
+    return excinfo.value
+
+
+class TestReadRequest:
+    def test_post_with_body(self):
+        body = b'{"gates": 1000}'
+        raw = (
+            b"POST /v1/rank HTTP/1.1\r\n"
+            b"Host: test\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"\r\n" + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/v1/rank"
+        assert request.body == body
+        assert request.keep_alive is True
+
+    def test_get_without_body(self):
+        request = parse(b"GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        assert request.method == "GET"
+        assert request.body == b""
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_query_string_is_stripped(self):
+        request = parse(b"GET /v1/metrics?pretty=1 HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/metrics"
+
+    def test_header_names_are_lowercased(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Custom-Thing: abc\r\n\r\n")
+        assert request.headers["x-custom-thing"] == "abc"
+
+    def test_http10_defaults_to_close(self):
+        request = parse(b"GET / HTTP/1.0\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_http10_keep_alive_opt_in(self):
+        request = parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert request.keep_alive is True
+
+    def test_http11_connection_close(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_malformed_request_line(self):
+        assert parse_error(b"GARBAGE\r\n\r\n").status == 400
+
+    def test_unsupported_protocol_version(self):
+        assert parse_error(b"GET / HTTP/2.0\r\n\r\n").status == 400
+
+    def test_non_ascii_request_line(self):
+        assert parse_error("GET /é HTTP/1.1\r\n\r\n".encode()).status == 400
+
+    def test_malformed_header_line(self):
+        assert parse_error(b"GET / HTTP/1.1\r\nnocolon\r\n\r\n").status == 400
+
+    def test_closed_mid_headers(self):
+        error = parse_error(b"GET / HTTP/1.1\r\nHost: t\r\n")
+        assert error.status == 400
+        assert "mid-headers" in error.message
+
+    def test_closed_mid_body(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort"
+        error = parse_error(raw)
+        assert error.status == 400
+        assert "mid-body" in error.message
+
+    def test_bad_content_length(self):
+        assert parse_error(
+            b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n"
+        ).status == 400
+        assert parse_error(
+            b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+        ).status == 400
+
+    def test_oversize_body_rejected_413(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 50\r\n\r\n" + b"x" * 50
+        error = parse_error(raw, max_body_bytes=10)
+        assert error.status == 413
+
+    def test_chunked_transfer_rejected_501(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        assert parse_error(raw).status == 501
+
+    def test_too_many_headers(self):
+        headers = b"".join(
+            b"X-H%d: v\r\n" % index for index in range(MAX_HEADERS + 1)
+        )
+        error = parse_error(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert error.status == 400
+
+    def test_oversize_header_line(self):
+        raw = b"GET / HTTP/1.1\r\nX-Big: " + b"a" * 9000 + b"\r\n\r\n"
+        assert parse_error(raw).status == 400
+
+
+class TestRenderResponse:
+    def test_shape_and_length(self):
+        body = b'{"ok": true}'
+        raw = render_response(200, body)
+        head, _, tail = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: %d" % len(body) in head
+        assert b"Connection: keep-alive" in head
+        assert tail == body
+
+    def test_close_and_extra_headers(self):
+        raw = render_response(
+            429, b"{}", keep_alive=False,
+            extra_headers=(("Retry-After", "1"),),
+        )
+        head = raw.partition(b"\r\n\r\n")[0]
+        assert head.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+        assert b"Connection: close" in head
+        assert b"Retry-After: 1" in head
+
+    def test_parses_back_with_own_reader(self):
+        """render + read are inverse enough for a loopback check."""
+        raw = render_response(200, b"abc", content_type="text/plain")
+        # The response head re-read as request headers (same wire syntax).
+        lines = raw.partition(b"\r\n\r\n")[0].split(b"\r\n")
+        assert lines[0] == b"HTTP/1.1 200 OK"
+
+
+class TestJsonErrorBody:
+    def test_uniform_payload(self):
+        payload = json.loads(json_error_body(404, "NotFound", "no such route"))
+        assert payload == {
+            "status": 404,
+            "error": "NotFound",
+            "message": "no such route",
+        }

@@ -1,0 +1,54 @@
+"""Golden-file round trips: wire JSON -> dataclass -> canonical bytes.
+
+Each ``golden/<kind>_request.json`` is a request as a client might
+spell it (suffixed frequencies, unordered corner lists, duplicate
+choice values); ``golden/<kind>_canonical.json`` is the committed
+canonical form.  The canonical bytes are the memoization key of the
+serving layer, so any drift here is a silent cache-invalidation event
+— regenerate the goldens deliberately, never casually.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.schema import REQUEST_TYPES
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+KINDS = sorted(REQUEST_TYPES)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_golden_pair_exists(kind):
+    assert (GOLDEN_DIR / f"{kind}_request.json").is_file()
+    assert (GOLDEN_DIR / f"{kind}_canonical.json").is_file()
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_wire_to_canonical_bytes_match_golden(kind):
+    wire = json.loads((GOLDEN_DIR / f"{kind}_request.json").read_text())
+    request = REQUEST_TYPES[kind].from_wire(wire)
+    expected = (GOLDEN_DIR / f"{kind}_canonical.json").read_bytes().rstrip(b"\n")
+    assert request.canonical_json() == expected
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_canonical_form_is_a_fixed_point(kind):
+    """Re-parsing the canonical golden reproduces itself byte for byte."""
+    canonical = json.loads((GOLDEN_DIR / f"{kind}_canonical.json").read_text())
+    request = REQUEST_TYPES[kind].from_wire(canonical)
+    expected = (GOLDEN_DIR / f"{kind}_canonical.json").read_bytes().rstrip(b"\n")
+    assert request.canonical_json() == expected
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_fingerprint_stable_across_spellings(kind):
+    """The raw wire spelling and the canonical form share a fingerprint."""
+    wire = json.loads((GOLDEN_DIR / f"{kind}_request.json").read_text())
+    canonical = json.loads((GOLDEN_DIR / f"{kind}_canonical.json").read_text())
+    request_type = REQUEST_TYPES[kind]
+    assert (
+        request_type.from_wire(wire).fingerprint()
+        == request_type.from_wire(canonical).fingerprint()
+    )

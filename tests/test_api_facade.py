@@ -66,6 +66,26 @@ class TestFacadeSurface:
         with pytest.raises(RankComputationError):
             api.bench(repeats=0)
 
+    def test_optimize_rank_is_the_nonshadowing_spelling(self):
+        """``api.optimize_rank`` is the same callable as ``api.optimize``
+        under a name that survives top-level re-export (where plain
+        ``optimize`` would shadow the ``repro.optimize`` subpackage)."""
+        assert api.optimize_rank is api.optimize
+        assert repro.optimize_rank is api.optimize
+        assert repro.optimize.__name__ == "repro.optimize"
+
+    def test_design_space_reexported(self):
+        from repro.optimize.space import DesignSpace as impl
+
+        assert api.DesignSpace is impl
+        assert repro.DesignSpace is impl
+
+    def test_solve_rank_request_round_trip(self):
+        request = api.RankRequest(gates=20_000, bunch_size=2_000)
+        result = api.solve_rank_request(request)
+        assert result.rank > 0
+        assert 0.0 < result.rank / result.total_wires <= 1.0
+
 
 class TestDeprecationShims:
     def test_core_import_warns(self):

@@ -22,6 +22,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "Z"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8421
+        assert args.workers == 1
+        assert args.executor_mode == "auto"
+        assert args.no_warm is False
+
+    def test_serve_executor_mode_choices(self):
+        args = build_parser().parse_args(["serve", "--executor-mode", "thread"])
+        assert args.executor_mode == "thread"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--executor-mode", "fibers"])
+
 
 class TestCommands:
     def test_rank_command(self, capsys):
