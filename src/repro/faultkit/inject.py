@@ -127,7 +127,9 @@ def _perform(spec: FaultSpec, site: str, context: Dict[str, object]) -> None:
         os.kill(os.getpid(), signal.SIGKILL)
         return  # pragma: no cover — unreachable
     if spec.kind == "hang":
-        time.sleep(spec.arg if spec.arg is not None else 60.0)
+        # Blocking IS the injected fault: a "hang" must stall whichever
+        # thread armed the site, event loop included.
+        time.sleep(spec.arg if spec.arg is not None else 60.0)  # noqa: RPL007
         return
     if spec.kind == "pickle":
         raise pickle.PicklingError(
@@ -149,7 +151,10 @@ def _perform(spec: FaultSpec, site: str, context: Dict[str, object]) -> None:
 def _tear_file(path: str) -> None:
     """Truncate a file to half its size — a torn write."""
     size = os.path.getsize(path)
-    with open(path, "rb+") as handle:
+    # Deliberate sync I/O: damaging the checkpoint in-line at the fault
+    # site is the point; routing it through an executor would let the
+    # victim read a half-torn file mid-surgery.
+    with open(path, "rb+") as handle:  # noqa: RPL007
         handle.truncate(size // 2)
 
 
@@ -159,7 +164,9 @@ def _corrupt_file(path: str) -> None:
     if size == 0:
         return
     offset = size // 2
-    with open(path, "rb+") as handle:
+    # Same contract as _tear_file: corruption happens synchronously at
+    # the site so the next reader observes it deterministically.
+    with open(path, "rb+") as handle:  # noqa: RPL007
         handle.seek(offset)
         byte = handle.read(1)
         handle.seek(offset)

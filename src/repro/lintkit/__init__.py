@@ -20,8 +20,12 @@ Architecture:
   ``# noqa`` suppression, deterministic ordering.
 * :mod:`repro.lintkit.baseline` — grandfathered-violation baseline so
   the CI gate is strict on new code from day one.
+* :mod:`repro.lintkit.callgraph` — shared whole-repo pre-pass: a
+  module-level call graph with *fork-reachable* (worker entrypoints,
+  ``.submit`` payloads) and *event-loop-reachable* (``async def``)
+  closures, consumed by the concurrency rules.
 * :mod:`repro.lintkit.reporters` — text and JSON output.
-* :mod:`repro.lintkit.rules` — the shipped rules (RPL001–RPL005).
+* :mod:`repro.lintkit.rules` — the shipped rules (RPL001–RPL011).
 
 Shipped rules:
 
@@ -34,7 +38,22 @@ RPL004    facade boundary: ``repro.core`` / ``repro.assign`` internals
           imported from caller layers instead of ``repro.api``
 RPL005    unguarded metrics publishing in hot paths (use the guarded
           ``repro.obs`` helpers)
+RPL006    swallowed exceptions in recovery paths (``runner/``,
+          ``faultkit/``)
+RPL007    blocking calls in event-loop-reachable code (route heavy
+          work through the solve executor)
+RPL008    fork-hostile state crossing the ``fork()`` boundary
+          (module-level handles, non-plain-data worker args)
+RPL009    SharedMemory lifecycle: parent owns ``unlink``, workers only
+          ``close``, creation guarantees release on error
+RPL010    fault-site registry: literal ``fault_point`` sites, chaos
+          globs must match a registered site (``--emit-fault-sites``)
+RPL011    cooperative deadline coverage in ``repro.core`` /
+          ``repro.assign`` loops
 ========  ==============================================================
+
+``--explain RPLnnn`` prints any rule's full rationale with
+trigger/avoid examples.
 """
 
 from __future__ import annotations

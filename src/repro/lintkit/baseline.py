@@ -146,6 +146,35 @@ class Baseline:
         ]
         return cls(entries=entries)
 
+    def pruned(self, findings: Sequence[Finding]) -> "Baseline":
+        """A copy with stale capacity removed.
+
+        Each entry's ``count`` is clamped to the number of current
+        findings that actually carry its fingerprint; entries matching
+        nothing are dropped entirely.  Justifications on surviving
+        entries are untouched — pruning only ever shrinks the baseline,
+        which is the direction the gate's ratchet is allowed to move.
+        """
+        live: Counter = Counter(f.fingerprint for f in findings)
+        remaining = dict(live)
+        entries: List[BaselineEntry] = []
+        for entry in self.entries:
+            matched = min(max(0, entry.count), remaining.get(entry.fingerprint, 0))
+            if matched <= 0:
+                continue
+            remaining[entry.fingerprint] -= matched
+            entries.append(
+                BaselineEntry(
+                    fingerprint=entry.fingerprint,
+                    code=entry.code,
+                    path=entry.path,
+                    line_text=entry.line_text,
+                    count=matched,
+                    justification=entry.justification,
+                )
+            )
+        return Baseline(entries=entries)
+
     def apply(
         self, findings: Sequence[Finding]
     ) -> Tuple[List[Finding], int, List[BaselineEntry]]:

@@ -11,6 +11,7 @@ Exit codes (stable contract, asserted by ``tests/lintkit/test_cli.py``):
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -35,7 +36,7 @@ DEFAULT_PATHS = ("src", "tests", "tools", "benchmarks", "examples")
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lintkit",
-        description="Repo-specific static analysis (rules RPL001-RPL005).",
+        description="Repo-specific static analysis (rules RPL001-RPL011).",
     )
     parser.add_argument(
         "paths", nargs="*",
@@ -68,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="also fail (exit 1) on stale baseline entries",
     )
     parser.add_argument(
+        "--prune-stale", action="store_true",
+        help="rewrite the baseline with stale capacity removed "
+        "(counts clamped to live findings, dead entries dropped) and exit 0",
+    )
+    parser.add_argument(
         "--select", metavar="CODES",
         help="comma-separated rule codes to run (default: all)",
     )
@@ -84,6 +90,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the registered rules and exit",
     )
+    parser.add_argument(
+        "--explain", metavar="CODE",
+        help="print one rule's rationale with trigger/avoid examples and exit",
+    )
+    parser.add_argument(
+        "--emit-fault-sites", metavar="FILE",
+        help="write the registry of literal fault_point() sites found in "
+        "the linted paths to FILE as markdown and exit",
+    )
+    parser.add_argument(
+        "--check-fault-sites", metavar="FILE",
+        help="fail (exit 1) when FILE does not match the fault-site "
+        "registry that --emit-fault-sites would write",
+    )
     return parser
 
 
@@ -95,6 +115,31 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _indent(block: str) -> str:
+    return "\n".join(f"    {line}" for line in block.splitlines())
+
+
+def _explain(code: str) -> Optional[str]:
+    """Human-oriented writeup of one rule: rationale plus examples."""
+    wanted = code.strip().upper()
+    for cls in all_rules():
+        if cls.code != wanted:
+            continue
+        parts = [f"{cls.code} — {cls.name}", "", cls.description]
+        module = sys.modules.get(cls.__module__)
+        doc = (module.__doc__ or "").strip() if module else ""
+        if doc:
+            parts += ["", doc]
+        trigger = getattr(cls, "example_trigger", "")
+        avoid = getattr(cls, "example_avoid", "")
+        if trigger:
+            parts += ["", "Triggers:", _indent(trigger)]
+        if avoid:
+            parts += ["", "Passes:", _indent(avoid)]
+        return "\n".join(parts)
+    return None
+
+
 def _codes(raw: Optional[str]) -> Optional[List[str]]:
     if raw is None:
         return None
@@ -102,11 +147,32 @@ def _codes(raw: Optional[str]) -> Optional[List[str]]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``--explain ... | head``) closed
+        # stdout early; that is a normal way to stop reading, not a
+        # failure.  Detach stdout so the interpreter's shutdown flush
+        # cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return EXIT_OK
+
+
+def _run(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
         print(_list_rules())
+        return EXIT_OK
+
+    if args.explain:
+        text = _explain(args.explain)
+        if text is None:
+            print(f"error: unknown rule code {args.explain!r}", file=sys.stderr)
+            return EXIT_USAGE
+        print(text)
         return EXIT_OK
 
     root = Path(args.root)
@@ -130,6 +196,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return EXIT_USAGE
+
+    if args.emit_fault_sites or args.check_fault_sites:
+        from .rules.rpl010_fault_sites import collect_fault_sites, render_fault_sites
+
+        registry = collect_fault_sites(contexts)
+        rendered = render_fault_sites(registry)
+        if args.emit_fault_sites:
+            Path(args.emit_fault_sites).write_text(rendered, encoding="utf-8")
+            print(
+                f"wrote {args.emit_fault_sites} "
+                f"({len(registry)} registered site(s))"
+            )
+            return EXIT_OK
+        target = Path(args.check_fault_sites)
+        current = target.read_text(encoding="utf-8") if target.exists() else None
+        if current != rendered:
+            print(
+                f"error: {target} is stale — regenerate it with "
+                "--emit-fault-sites",
+                file=sys.stderr,
+            )
+            return EXIT_FINDINGS
+        print(f"{target} matches the fault-site registry")
+        return EXIT_OK
 
     baseline_path: Optional[Path] = None
     if not args.no_baseline:
@@ -155,6 +245,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"wrote {baseline_path} covering {len(findings)} finding(s); "
             "add a justification to every entry"
+        )
+        return EXIT_OK
+
+    if args.prune_stale:
+        if baseline_path is None or not baseline_path.exists():
+            print("error: --prune-stale needs an existing baseline file",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        pruned = baseline.pruned(findings)
+        before = sum(max(0, e.count) for e in baseline.entries)
+        after = sum(e.count for e in pruned.entries)
+        pruned.save(baseline_path)
+        print(
+            f"pruned {baseline_path}: {len(baseline.entries)} -> "
+            f"{len(pruned.entries)} entries "
+            f"({before - after} stale occurrence(s) removed)"
         )
         return EXIT_OK
 

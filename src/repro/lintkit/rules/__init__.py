@@ -9,4 +9,9 @@ from . import (  # noqa: F401
     rpl004_facade,
     rpl005_obs_guard,
     rpl006_swallow,
+    rpl007_async_blocking,
+    rpl008_fork_safety,
+    rpl009_shm_lifecycle,
+    rpl010_fault_sites,
+    rpl011_deadline,
 )

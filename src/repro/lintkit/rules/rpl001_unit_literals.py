@@ -43,6 +43,11 @@ class UnitLiteralRule(Rule):
         "named constants/helpers (UM, NM, FF, to_um, MEGA, ...) so "
         "every unit conversion in the repo is grep-able and validated."
     )
+    example_trigger = "wire_len = length_um * 1e-6    # magic SI factor"
+    example_avoid = (
+        "from repro.units import UM\n"
+        "wire_len = length_um * UM      # named, validated conversion"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.tree is None or ctx.in_module(*EXEMPT_MODULES):

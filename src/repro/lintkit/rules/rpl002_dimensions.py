@@ -101,6 +101,14 @@ class DimensionRule(Rule):
         "another, and non-SI scale suffixes (_um, _ps) must not bind "
         "SI-suffixed parameters — the repo computes SI-internal."
     )
+    example_trigger = (
+        "def rc_delay(res_ohm, cap_f): ...\n"
+        "rc_delay(trace_len_m, cap_f)   # a length bound to a resistance"
+    )
+    example_avoid = (
+        "res_ohm = sheet_res(trace_len_m, width_m)\n"
+        "rc_delay(res_ohm, cap_f)       # dimensions line up"
+    )
 
     def __init__(self) -> None:
         self._db: Dict[str, Optional[_Signature]] = {}

@@ -63,6 +63,14 @@ class DeterminismRule(Rule):
         "global or unseeded RNGs, no set-iteration-order dependence. "
         "Inject a seeded random.Random / numpy Generator instead."
     )
+    example_trigger = (
+        "start = random.choice(candidates)   # process-global RNG\n"
+        "stamp = time.time()                 # wall clock in a solver"
+    )
+    example_avoid = (
+        "def anneal(candidates, rng: random.Random):\n"
+        "    start = rng.choice(candidates)  # caller-seeded, replayable"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.tree is None or not ctx.in_module(*SCOPED_PACKAGES):

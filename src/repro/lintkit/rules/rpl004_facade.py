@@ -54,6 +54,12 @@ class FacadeBoundaryRule(Rule):
         "repro.core / repro.assign internals; TYPE_CHECKING-only "
         "imports are exempt."
     )
+    example_trigger = "from repro.core.dp import solve_rank    # caller layer"
+    example_avoid = (
+        "from repro.api import rank_architectures  # stable facade\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.core.dp import DPTables     # types-only: exempt"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.tree is None or not ctx.in_path(*SCOPED_PATHS):

@@ -46,6 +46,11 @@ class ObsGuardRule(Rule):
         "gated on metrics_enabled()), never through the registry object "
         "— unguarded publishing pays lock+dict cost with metrics off."
     )
+    example_trigger = "_REGISTRY.counter('dp.relax').inc()   # unguarded, hot loop"
+    example_avoid = (
+        "from repro.obs import inc\n"
+        "inc('dp.relax')                       # no-op when metrics off"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.tree is None or not ctx.in_module(*HOT_PACKAGES):

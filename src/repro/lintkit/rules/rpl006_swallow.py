@@ -121,6 +121,18 @@ class SwallowRule(Rule):
         "'except Exception/BaseException' must re-raise, return a value, "
         "or record the failure (obs counter, journal, pipe, or logger)."
     )
+    example_trigger = (
+        "try:\n"
+        "    attempt(point)\n"
+        "except Exception:\n"
+        "    pass                    # failure vanishes from the journal"
+    )
+    example_avoid = (
+        "except Exception as exc:\n"
+        "    inc('executor.attempt.failed')\n"
+        "    journal.record_failure(point, exc)\n"
+        "    raise"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.tree is None or not ctx.in_module(*SCOPED_PACKAGES):

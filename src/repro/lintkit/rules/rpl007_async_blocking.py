@@ -1,0 +1,132 @@
+"""RPL007 — no blocking calls in event-loop-reachable code.
+
+``repro.service`` is a single-threaded asyncio server: one blocking
+call anywhere in the synchronous call tree below an ``async def``
+handler stalls *every* in-flight request, defeats the deadline
+machinery (``asyncio.wait_for`` cannot pre-empt a stuck sync frame),
+and turns the 429 backpressure path into a queue of frozen sockets.
+The architectural rule is simple — heavy or blocking work goes through
+:class:`repro.service.executor.SolveExecutor` — but nothing enforced
+it until now.
+
+This rule consumes the shared :mod:`repro.lintkit.callgraph` pre-pass:
+every function reachable (over resolved call edges) from an ``async
+def`` in the linted ``repro.*`` modules is *event-loop-reachable*, and
+within those functions any call to a known blocking primitive is
+flagged — ``time.sleep``, ``subprocess.*``, sync socket constructors
+and ``urllib`` fetches, ``open()`` / ``Path.read_text``-family file
+I/O, and the block-forever forms ``Future.result()`` / ``queue.get()``
+/ ``.join()`` with no timeout argument.
+
+Work routed through the executor is exempt *structurally*: a function
+reference passed to ``.submit(...)`` is an argument, not a call edge,
+so the loop closure stops at the executor boundary.  Deliberate
+exceptions (the chaos ``hang`` fault is a blocking sleep *on purpose*)
+carry ``# noqa: RPL007`` with a justification, as usual.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..callgraph import analyze, CallGraph
+from ..context import FileContext, Finding
+from ..registry import Rule, register
+
+#: Calls that block the calling thread, by absolute dotted name
+#: (resolved through the module's imports).
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.getoutput",
+    "subprocess.Popen",
+    "socket.socket",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "urllib.request.urlopen",
+    "os.system",
+    "os.popen",
+    "os.wait",
+    "os.waitpid",
+    "open",
+})
+
+#: ``Path`` / file-object methods that hit the disk synchronously.
+BLOCKING_METHODS = frozenset({
+    "read_text", "read_bytes", "write_text", "write_bytes",
+    "recv", "sendall", "accept", "connect",
+})
+
+#: Methods that block forever unless given a timeout argument.
+TIMEOUT_METHODS = frozenset({"result", "get", "join", "acquire"})
+
+
+@register
+class AsyncBlockingRule(Rule):
+    code = "RPL007"
+    name = "async-blocking"
+    description = (
+        "No blocking calls (time.sleep, subprocess, sync socket/file "
+        "I/O, Future.result()/queue.get() without timeout) in functions "
+        "reachable from an async def: one stuck sync frame freezes the "
+        "whole event loop.  Route heavy work through the solve executor."
+    )
+    example_trigger = (
+        "async def handler(req):\n"
+        "    time.sleep(0.1)          # blocks every in-flight request\n"
+        "    data = open(p).read()    # sync disk I/O on the loop"
+    )
+    example_avoid = (
+        "async def handler(req):\n"
+        "    await asyncio.sleep(0.1)\n"
+        "    future = self.executor.submit(solve_job, args)\n"
+        "    payload = await asyncio.wrap_future(future)"
+    )
+
+    def __init__(self) -> None:
+        self._graph: Optional[CallGraph] = None
+
+    def prepare(self, contexts) -> None:  # type: ignore[no-untyped-def]
+        self._graph = analyze(contexts)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        graph = self._graph
+        if graph is None or ctx.tree is None or not ctx.in_module("repro"):
+            return
+        for fi in graph.functions_in(ctx):
+            if fi.qualname not in graph.loop_reachable:
+                continue
+            for node in fi.walk():
+                if not isinstance(node, ast.Call):
+                    continue
+                why = self._blocking(graph, ctx, node)
+                if why is None:
+                    continue
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{why} in event-loop-reachable {fi.qualname} "
+                    f"(via {graph.chain(fi.qualname, 'loop')}); route it "
+                    "through the solve executor or use the asyncio "
+                    "equivalent",
+                )
+
+    def _blocking(
+        self, graph: CallGraph, ctx: FileContext, node: ast.Call
+    ) -> Optional[str]:
+        absolute = graph.absolute_name(ctx, node.func)
+        if absolute in BLOCKING_CALLS:
+            return f"blocking call {absolute}()"
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr in BLOCKING_METHODS:
+                return f"blocking .{attr}() I/O"
+            if attr in TIMEOUT_METHODS and not node.args and not node.keywords:
+                # dict.get()/str.join() always take arguments, so a
+                # bare zero-argument form is the block-forever one.
+                return f"unbounded .{attr}() (no timeout)"
+        return None

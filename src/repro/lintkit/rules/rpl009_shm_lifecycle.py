@@ -1,0 +1,202 @@
+"""RPL009 — shared-memory segment lifecycle.
+
+``/dev/shm`` segments are the one resource in this codebase that
+outlives a crashed process: a ``SharedMemory`` segment with no
+``unlink`` leaks kernel memory until reboot, and an ``unlink`` from
+the wrong side of the fork boundary yanks the mapping out from under
+sibling workers mid-batch.  PR 7 settled the ownership protocol —
+**the parent that creates a segment owns its ``unlink``; workers only
+ever ``close`` their attachment** (see
+``repro.core.precompute._release_segment_quietly``) — and this rule
+makes the protocol machine-checked:
+
+* ``SharedMemory(..., create=True)`` in a *fork-reachable* function is
+  flagged: workers must never create segments (an orphan is guaranteed
+  if the worker is SIGKILLed, which the chaos suite does on purpose);
+* ``.unlink()`` on a shm handle (a variable assigned from a
+  ``SharedMemory(...)`` call or a parameter annotated ``SharedMemory``)
+  in fork-reachable code is flagged: unlink is the owner's job;
+* a function that creates a segment must guarantee release on error
+  paths: the creating function needs a ``try`` whose handler or
+  ``finally`` releases the segment — either ``.close()`` + ``.unlink()``
+  inline, or a call to a same-module helper whose body contains both
+  (the ``_release_segment(shm)`` idiom).
+
+The receiver-type tracking keeps ``Path.unlink()`` (checkpoint
+cleanup) out of scope: only names that provably hold a ``SharedMemory``
+handle count.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..callgraph import analyze, CallGraph, FunctionInfo, _annotation_name
+from ..context import FileContext, Finding
+from ..registry import Rule, register
+
+
+def _is_shm_ctor(graph: CallGraph, ctx: FileContext, call: ast.Call) -> bool:
+    absolute = graph.absolute_name(ctx, call.func) or ""
+    return absolute.split(".")[-1] == "SharedMemory"
+
+
+def _is_create(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "create" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _shm_names(graph: CallGraph, ctx: FileContext, fi: FunctionInfo) -> Set[str]:
+    """Local names that provably hold a ``SharedMemory`` handle."""
+    names: Set[str] = set()
+    args = fi.node.args  # type: ignore[attr-defined]
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.annotation is not None:
+            annotated = _annotation_name(arg.annotation) or ""
+            if annotated.split(".")[-1] == "SharedMemory":
+                names.add(arg.arg)
+    for node in fi.walk():
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and _is_shm_ctor(graph, ctx, node.value)
+        ):
+            names.add(node.targets[0].id)
+    return names
+
+
+@register
+class ShmLifecycleRule(Rule):
+    code = "RPL009"
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory segments follow the parent-owns-unlink protocol: "
+        "creation must guarantee close+unlink on error paths in the "
+        "owning scope, workers never create segments, and .unlink() "
+        "must not appear in fork-reachable code (workers only close "
+        "their attachment)."
+    )
+    example_trigger = (
+        "def _worker(manifest):\n"
+        "    shm = SharedMemory(name=manifest.name)\n"
+        "    shm.unlink()     # worker unlinks: siblings lose the mapping"
+    )
+    example_avoid = (
+        "shm = SharedMemory(name=..., create=True, size=n)  # parent\n"
+        "try:\n"
+        "    publish(shm)\n"
+        "except BaseException:\n"
+        "    _release_segment(shm)   # close() + unlink() helper\n"
+        "    raise"
+    )
+
+    def __init__(self) -> None:
+        self._graph: Optional[CallGraph] = None
+
+    def prepare(self, contexts) -> None:  # type: ignore[no-untyped-def]
+        self._graph = analyze(contexts)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        graph = self._graph
+        if graph is None or ctx.tree is None or not ctx.in_module("repro"):
+            return
+        for fi in graph.functions_in(ctx):
+            fork_side = fi.qualname in graph.fork_reachable
+            shm_names = _shm_names(graph, ctx, fi)
+            created: List[ast.Call] = []
+            for node in fi.walk():
+                if isinstance(node, ast.Call) and _is_shm_ctor(graph, ctx, node):
+                    if _is_create(node):
+                        created.append(node)
+                        if fork_side:
+                            yield ctx.finding(
+                                node,
+                                self.code,
+                                f"SharedMemory created in fork-reachable "
+                                f"{fi.qualname} "
+                                f"(via {graph.chain(fi.qualname, 'fork')}); "
+                                "only the parent may create segments — a "
+                                "SIGKILLed worker would orphan it",
+                            )
+                if (
+                    fork_side
+                    and isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "unlink"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in shm_names
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f".unlink() on shm handle '{node.func.value.id}' in "
+                        f"fork-reachable {fi.qualname} "
+                        f"(via {graph.chain(fi.qualname, 'fork')}); unlink "
+                        "belongs to the owning parent — workers only "
+                        "close() their attachment",
+                    )
+            if created and not fork_side and not self._releases_on_error(graph, fi):
+                yield ctx.finding(
+                    created[0],
+                    self.code,
+                    f"{fi.qualname} creates a SharedMemory segment without "
+                    "a try whose handler/finally releases it "
+                    "(close()+unlink(), directly or via a release helper) "
+                    "— an exception here leaks /dev/shm until reboot",
+                )
+
+    # ------------------------------------------------------------------
+
+    def _releases_on_error(self, graph: CallGraph, fi: FunctionInfo) -> bool:
+        for node in fi.walk():
+            if not isinstance(node, ast.Try):
+                continue
+            cleanup: List[ast.stmt] = list(node.finalbody)
+            for handler in node.handlers:
+                cleanup.extend(handler.body)
+            if not cleanup:
+                continue
+            if self._body_releases(graph, fi, cleanup, depth=1):
+                return True
+        return False
+
+    def _body_releases(
+        self,
+        graph: CallGraph,
+        fi: FunctionInfo,
+        body: List[ast.stmt],
+        depth: int,
+    ) -> bool:
+        attrs: Set[str] = set()
+        calls: List[ast.Call] = []
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    calls.append(node)
+                    if isinstance(node.func, ast.Attribute):
+                        attrs.add(node.func.attr)
+        if {"close", "unlink"} <= attrs:
+            return True
+        if depth <= 0:
+            return False
+        for call in calls:
+            target = graph._callable_target(fi, call.func)
+            if target is None:
+                continue
+            helper = graph.functions.get(target)
+            if helper is None:
+                continue
+            helper_attrs = {
+                node.func.attr
+                for node in helper.walk()
+                if isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            }
+            if {"close", "unlink"} <= helper_attrs:
+                return True
+        return False

@@ -1,0 +1,144 @@
+"""RPL011 — cooperative deadline coverage in solver hot paths.
+
+The fault-tolerant runner's per-attempt wall-clock budget and the
+service's 504 deadline path both rely on *cooperative* cancellation:
+:func:`repro.core.dp.check_deadline` raises ``DeadlineExceeded`` once
+``time.monotonic()`` passes the budget.  Cooperation only works if
+every loop that can iterate over problem-sized ranges actually calls
+the check (or hands ``deadline`` down to a callee that does) — one
+unchecked loop and a pathological point blows straight through its
+budget, the watchdog SIGKILLs the worker, and a cheap retryable
+timeout becomes an expensive crash-resubmit cycle.
+
+The rule's scope is where the plumbing exists: inside ``repro.core``
+and ``repro.assign``, every function that *accepts* a ``deadline``
+parameter must, in each of its loops, either
+
+* call ``check_deadline(...)`` somewhere in the loop body, or
+* forward ``deadline`` to a callee inside the loop (the callee then
+  owns the obligation — this is how the per-pair DP loops satisfy the
+  rule through their kernel calls), or
+* carry a ``# noqa: RPL011`` justification on the loop header for
+  loops that are provably small (fixed-size unpacking, bounded
+  configuration tuples).
+
+Loops over literal constant collections (``for k in ("a", "b"):``) are
+exempt automatically — they cannot be problem-sized.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from ..context import FileContext, Finding
+from ..registry import Rule, register
+
+#: Packages whose deadline-accepting functions are under the contract.
+SCOPED_PACKAGES = ("repro.core", "repro.assign")
+
+_Loop = Union[ast.For, ast.While]
+
+
+def _is_constant_iterable(node: ast.For) -> bool:
+    """Loops over literal tuples/lists/sets cannot be problem-sized."""
+    iterable = node.iter
+    if isinstance(iterable, (ast.Tuple, ast.List, ast.Set)):
+        return all(isinstance(e, ast.Constant) for e in iterable.elts)
+    return False
+
+
+def _loop_satisfies(loop: _Loop) -> bool:
+    """True when the loop body checks or forwards the deadline."""
+    for node in ast.walk(loop):
+        if node is loop or not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "check_deadline":
+            return True
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id == "deadline":
+                return True
+        for kw in node.keywords:
+            if isinstance(kw.value, ast.Name) and kw.value.id == "deadline":
+                return True
+    return False
+
+
+@register
+class DeadlineCoverageRule(Rule):
+    code = "RPL011"
+    name = "deadline-coverage"
+    description = (
+        "In repro.core/repro.assign, every loop inside a function that "
+        "accepts a deadline parameter must call check_deadline() or "
+        "forward the deadline to a callee — an unchecked loop turns a "
+        "cheap cooperative timeout into a watchdog SIGKILL."
+    )
+    example_trigger = (
+        "def solve(tables, deadline):\n"
+        "    for pair in pairs:        # problem-sized, never checks\n"
+        "        best = relax(pair)"
+    )
+    example_avoid = (
+        "def solve(tables, deadline):\n"
+        "    for pair in pairs:\n"
+        "        check_deadline(deadline, where=f'dp pair {pair}')\n"
+        "        best = relax(pair)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.tree is None or not ctx.in_module(*SCOPED_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            params = {
+                a.arg
+                for a in args.posonlyargs + args.args + args.kwonlyargs
+            }
+            if "deadline" not in params:
+                continue
+            yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, fn: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> Iterator[Finding]:
+        # Only this function's own loops: nested defs carry their own
+        # deadline parameter (or are out of contract).  A loop nested
+        # inside a loop that already checks/forwards is *covered*: the
+        # enclosing check runs once per enclosing iteration, which is
+        # the repo's deliberate coarse-granularity idiom (one
+        # check_deadline per DP group row, not per transition — the
+        # check itself has per-call cost).
+        def visit(nodes: list, covered: bool) -> Iterator[Finding]:
+            for node in nodes:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(node, (ast.For, ast.While)):
+                    loop_covered = covered or _loop_satisfies(node)
+                    if not loop_covered and not (
+                        isinstance(node, ast.For) and _is_constant_iterable(node)
+                    ):
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            f"loop in deadline-accepting {fn.name}() neither "
+                            "calls check_deadline() nor forwards the "
+                            "deadline (and no enclosing loop does); a "
+                            "pathological point would blow through its "
+                            "wall-clock budget (add the check, or "
+                            "# noqa: RPL011 with why the loop is provably "
+                            "small)",
+                        )
+                    yield from visit(
+                        list(ast.iter_child_nodes(node)), loop_covered
+                    )
+                else:
+                    yield from visit(list(ast.iter_child_nodes(node)), covered)
+
+        yield from visit(list(fn.body), False)

@@ -22,7 +22,7 @@ see :data:`NONDETERMINISTIC_PREFIXES`.)
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 from . import metrics as _metrics
 from . import trace as _trace
@@ -43,7 +43,7 @@ def obs_enabled() -> bool:
     return _metrics.metrics_enabled() or _trace.tracing_enabled()
 
 
-def apply_obs_flags(flags) -> None:
+def apply_obs_flags(flags: Sequence[bool]) -> None:
     """Install an :func:`obs_flags` pair inside a worker process."""
     metrics_on, trace_on = flags
     _metrics._set_enabled(bool(metrics_on))

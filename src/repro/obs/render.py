@@ -9,12 +9,12 @@ the reporting layer.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from ..units import to_us
 
 
-def _format_seconds(seconds) -> str:
+def _format_seconds(seconds: Optional[float]) -> str:
     if seconds is None:
         return "-"
     if seconds >= 1.0:

@@ -29,7 +29,8 @@ import json
 import os
 import threading
 import time
-from typing import Dict, List, Optional
+from types import TracebackType
+from typing import Dict, Iterable, List, Optional, Type, Union
 
 from . import metrics as _metrics
 from ..units import to_us
@@ -44,6 +45,23 @@ _ENABLED = False
 _LOCK = threading.Lock()
 _EVENTS: List[dict] = []
 _DROPPED = 0
+
+
+def _reinit_after_fork() -> None:
+    """Replace the buffer lock in forked children.
+
+    A forked worker inherits ``_LOCK`` in whatever state the parent's
+    threads left it at ``fork()`` time; if any thread held it (a
+    concurrent :func:`add_event`), the child's copy is locked forever
+    and the first worker-side trace call deadlocks.  Fresh-lock-on-fork
+    is the same discipline the stdlib ``logging`` module applies to its
+    module lock.
+    """
+    global _LOCK
+    _LOCK = threading.Lock()
+
+
+os.register_at_fork(after_in_child=_reinit_after_fork)
 
 
 def tracing_enabled() -> bool:
@@ -72,7 +90,7 @@ def events() -> List[dict]:
         return list(_EVENTS)
 
 
-def extend_events(incoming) -> None:
+def extend_events(incoming: Iterable[dict]) -> None:
     """Append events merged back from a worker process."""
     global _DROPPED
     with _LOCK:
@@ -110,7 +128,12 @@ class Span:
         self._start = time.monotonic()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         end = time.monotonic()
         duration = end - self._start
         if _metrics.metrics_enabled():
@@ -141,14 +164,19 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
 _NULL_SPAN = _NullSpan()
 
 
-def span(name: str, **args):
+def span(name: str, **args: object) -> Union[Span, "_NullSpan"]:
     """A context manager timing one named region of work.
 
     Returns the shared no-op span unless tracing or metrics are
@@ -161,7 +189,9 @@ def span(name: str, **args):
     return Span(name, args)
 
 
-def write_trace(path, extra: Optional[dict] = None) -> int:
+def write_trace(
+    path: Union[str, "os.PathLike[str]"], extra: Optional[dict] = None
+) -> int:
     """Write the buffered events as a Chrome trace-event JSON file.
 
     The file is written atomically (temp + ``os.replace``) and carries

@@ -59,6 +59,7 @@ from .journal import (
 from .parallel import (
     POOL_MODE_AUTO,
     POOL_MODES,
+    WorkerPayload,
     dumps_worker_payload,
     execute_points_parallel,
     resolve_jobs,
@@ -560,19 +561,19 @@ def _cached_record(point: PointSpec) -> PointRecord:
 
 
 def _run_sequential(
-    name,
-    points,
-    evaluate,
-    policy,
-    keep_going,
-    checkpoint_path,
-    cached,
-    deserialize,
-    serialize,
-    journal,
-    checkpoint,
-    results,
-    committer,
+    name: str,
+    points: Sequence[PointSpec],
+    evaluate: Callable[[PointSpec, Attempt], object],
+    policy: RetryPolicy,
+    keep_going: bool,
+    checkpoint_path: Optional[PathLike],
+    cached: Dict[str, object],
+    deserialize: Callable[[object], object],
+    serialize: Callable[[object], object],
+    journal: RunJournal,
+    checkpoint: Checkpoint,
+    results: Dict[str, object],
+    committer: _Committer,
 ) -> None:
     for point in points:
         if point.key in cached:
@@ -591,23 +592,23 @@ def _run_sequential(
 
 
 def _run_parallel(
-    name,
-    points,
-    evaluate,
-    payload,
-    jobs,
-    policy,
-    keep_going,
-    checkpoint_path,
-    cached,
-    deserialize,
-    serialize,
-    journal,
-    checkpoint,
-    results,
-    committer,
-    fault_schedule=None,
-    chunk_size=None,
+    name: str,
+    points: Sequence[PointSpec],
+    evaluate: Callable[[PointSpec, Attempt], object],
+    payload: WorkerPayload,
+    jobs: int,
+    policy: RetryPolicy,
+    keep_going: bool,
+    checkpoint_path: Optional[PathLike],
+    cached: Dict[str, object],
+    deserialize: Callable[[object], object],
+    serialize: Callable[[object], object],
+    journal: RunJournal,
+    checkpoint: Checkpoint,
+    results: Dict[str, object],
+    committer: _Committer,
+    fault_schedule: Optional[FaultSchedule] = None,
+    chunk_size: Optional[int] = None,
 ) -> None:
     outcomes: Dict[str, PointOutcome] = {}
 

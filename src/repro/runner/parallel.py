@@ -80,6 +80,7 @@ from collections import deque
 from contextlib import contextmanager
 from multiprocessing import connection, get_context
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Deque,
     Dict,
@@ -103,6 +104,15 @@ from ..obs.metrics import gauge as _obs_gauge
 from ..obs.metrics import inc as _obs_inc
 from ..obs.metrics import metrics_enabled as _metrics_enabled
 from .journal import STATUS_FAILED, AttemptRecord, PointRecord
+
+if TYPE_CHECKING:
+    from multiprocessing.process import BaseProcess
+
+    from .executor import Attempt, PointSpec
+    from .policy import RetryPolicy
+
+#: An evaluate callable as run_batch accepts it.
+EvaluateFn = Callable[["PointSpec", "Attempt"], object]
 
 #: How often an idle worker wakes to check for tasks and for a
 #: vanished parent (orphan self-cleanup).
@@ -227,7 +237,10 @@ class WorkerPayload:
 
 
 def dumps_worker_payload(
-    name: str, evaluate, policy, points: Sequence = ()
+    name: str,
+    evaluate: EvaluateFn,
+    policy: "RetryPolicy",
+    points: Sequence["PointSpec"] = (),
 ) -> WorkerPayload:
     """Pickle ``(evaluate, policy, points)`` for shipment to workers.
 
@@ -270,7 +283,13 @@ def _encode_error(tag: str, index: int, submit: int, exc: BaseException) -> byte
     return _pack(exc_blob)
 
 
-def _evaluate_task(point, index: int, submit: int, evaluate, policy) -> bytes:
+def _evaluate_task(
+    point: "PointSpec",
+    index: int,
+    submit: int,
+    evaluate: EvaluateFn,
+    policy: "RetryPolicy",
+) -> bytes:
     """Run one point in the worker; always returns an encodable message.
 
     Three shapes: ``("ok", index, outcome)`` on success (including
@@ -307,7 +326,9 @@ def _evaluate_task(point, index: int, submit: int, evaluate, policy) -> bytes:
         return _encode_error("unserializable", index, submit, exc)
 
 
-def _load_worker_payload(init_blob: bytes):
+def _load_worker_payload(
+    init_blob: bytes,
+) -> Tuple[EvaluateFn, "RetryPolicy", Sequence["PointSpec"], Optional[object]]:
     """Decode the one-time worker payload; attaches shared memory.
 
     Returns ``(evaluate, policy, points, shm)`` where ``shm`` keeps the
@@ -327,8 +348,8 @@ def _worker_main(
     init_blob: bytes,
     obs_flags: Tuple[bool, bool],
     fault_blob: Optional[bytes],
-    task_r,
-    res_w,
+    task_r: connection.Connection,
+    res_w: connection.Connection,
     parent_pid: int,
 ) -> None:
     """Process entry point: run the loop, then exit without teardown.
@@ -353,8 +374,8 @@ def _worker_loop(
     init_blob: bytes,
     obs_flags: Tuple[bool, bool],
     fault_blob: Optional[bytes],
-    task_r,
-    res_w,
+    task_r: connection.Connection,
+    res_w: connection.Connection,
     parent_pid: int,
 ) -> None:
     """Worker loop: pull chunks, evaluate, stream pre-pickled results.
@@ -431,7 +452,12 @@ class _Chunk:
 class _Worker:
     """One pool process plus its dedicated task/result pipes."""
 
-    def __init__(self, process, task_w, res_r) -> None:
+    def __init__(
+        self,
+        process: "BaseProcess",
+        task_w: connection.Connection,
+        res_r: connection.Connection,
+    ) -> None:
         self.process = process
         self.task_w = task_w
         self.res_r = res_r
@@ -445,7 +471,7 @@ class _Worker:
                 pass  # already closed by a prior cleanup path
 
 
-def _task_budget(policy) -> Optional[float]:
+def _task_budget(policy: "RetryPolicy") -> Optional[float]:
     """Watchdog wall-clock budget for one submission, or ``None``.
 
     Without a cooperative ``timeout_s`` there is no basis for calling a
@@ -471,7 +497,7 @@ def _reap_on_signals(kill_all: Callable[[], None]) -> Iterator[None]:
     """
     previous: Dict[int, object] = {}
 
-    def _handler(signum, frame) -> None:
+    def _handler(signum: int, frame: object) -> None:
         kill_all()
         for sig, old in previous.items():
             signal.signal(sig, old)
@@ -521,7 +547,7 @@ def execute_points_parallel(
     todo: Sequence[Tuple[int, object]],
     payload: WorkerPayload,
     jobs: int,
-    policy,
+    policy: "RetryPolicy",
     on_outcome: Callable,
     stop_on_failure: bool,
     fault_blob: Optional[bytes] = None,

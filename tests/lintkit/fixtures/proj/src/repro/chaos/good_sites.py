@@ -1,0 +1,13 @@
+"""Fixture: literal sites and globs that match them (RPL010-clean)."""
+
+from repro.faultkit import FaultSpec, fault_point
+
+
+def guarded_region(payload):
+    fault_point("fixture.pool.start", point=payload)
+    fault_point("fixture.pool.result", point=payload)
+
+
+SCHEDULE = FaultSpec(site="fixture.pool.*", kind="raise")
+
+INLINE = '[{"site": "fixture.pool.result", "kind": "raise"}]'

@@ -1,0 +1,10 @@
+"""Fixture: problem-sized loops that never check the deadline (RPL011)."""
+
+
+def relax_all(pairs, deadline):
+    best = 0.0
+    for pair in pairs:
+        best = max(best, pair.cost)
+    while best > 0.5:
+        best = best / 2.0
+    return best

@@ -1,0 +1,27 @@
+"""Fixture: every loop covered — check, forward, noqa, or constant."""
+
+from repro.core.dp import check_deadline
+
+
+def relax_all(pairs, deadline):
+    best = 0.0
+    for pair in pairs:
+        check_deadline(deadline, where="fixture relax")
+        for candidate in pair:
+            best = max(best, candidate)
+    return best
+
+
+def merge(groups, deadline):
+    total = 0.0
+    for group in groups:
+        total += accumulate(group, deadline)
+    for knob in ("alpha", "beta"):
+        total += len(knob)
+    for header in range(3):  # noqa: RPL011 — three header rows, fixed
+        total += header
+    return total
+
+
+def accumulate(group, deadline):
+    return len(group)

@@ -1,0 +1,25 @@
+"""Fixture: fork-hostile worker state and shm misuse (RPL008/RPL009)."""
+
+import threading
+from multiprocessing import Process
+from multiprocessing.shared_memory import SharedMemory
+
+_LOCK = threading.Lock()
+
+
+def _worker_main(init_blob: bytes, stop: threading.Event) -> None:
+    with _LOCK:
+        scratch = SharedMemory(name="scratch", create=True, size=64)
+        scratch.close()
+        scratch.unlink()
+
+
+def publish_tables(blob):
+    segment = SharedMemory(name="tables", create=True, size=len(blob))
+    segment.buf[: len(blob)] = blob
+    return segment.name
+
+
+def start_pool(blob):
+    worker = Process(target=_worker_main, args=(blob, None))
+    worker.start()

@@ -1,0 +1,21 @@
+"""Fixture: an asyncio handler that blocks the event loop (RPL007)."""
+
+import time
+
+
+def _load_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+async def handle_request(request, pool):
+    time.sleep(0.05)
+    config = _load_config(request.path)
+    future = pool.submit(_solve, request)
+    return config, future.result()
+
+
+def _solve(request):
+    # Decoy: executor payload, runs off-loop — must NOT be flagged.
+    time.sleep(1.0)
+    return request

@@ -1,0 +1,21 @@
+"""Fixture: a handler that keeps the event loop free (RPL007-clean)."""
+
+import asyncio
+import time
+
+
+async def handle_request(request, pool):
+    await asyncio.sleep(0.05)
+    future = pool.submit(_solve, request)
+    return await asyncio.wrap_future(future)
+
+
+def _solve(request):
+    return request
+
+
+def _offline_maintenance(path):
+    """Decoy: blocking, but unreachable from any async def."""
+    time.sleep(0.2)
+    with open(path) as handle:
+        return handle.read()

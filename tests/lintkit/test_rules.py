@@ -169,6 +169,11 @@ class TestWholeProject:
             "RPL004": 4,
             "RPL005": 5,
             "RPL006": 5,
+            "RPL007": 3,
+            "RPL008": 2,
+            "RPL009": 3,
+            "RPL010": 3,
+            "RPL011": 2,
         }
 
     def test_findings_sorted_and_relative(self):
